@@ -1,0 +1,85 @@
+// Command prerun executes only the pre-run phase (paper §4): it runs every
+// unit test once with a tracking agent and prints, per test, the node
+// types started, the parameters each entity reads, and any unmappable
+// configuration objects — the raw material for Table 5 rows 1–3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/testgen"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "minihdfs", "application name or 'all'")
+		verbose = flag.Bool("v", false, "print per-entity parameter usage")
+	)
+	flag.Parse()
+
+	var selected []*harness.App
+	if *appName == "all" {
+		selected = apps.All()
+	} else {
+		app, err := apps.ByName(*appName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = []*harness.App{app}
+	}
+
+	for _, app := range selected {
+		fmt.Printf("=== pre-run: %s ===\n", app.Name)
+		run := runner.New(app, runner.Options{})
+		gen := testgen.New(app.Schema())
+
+		var pres []testgen.PreRun
+		nodeless, sharing, uncertain := 0, 0, 0
+		for i := range app.Tests {
+			pre := run.PreRun(&app.Tests[i])
+			pres = append(pres, pre)
+			rep := pre.Report
+			switch {
+			case len(rep.NodesStarted) == 0:
+				nodeless++
+			default:
+				if rep.SharedConf {
+					sharing++
+				}
+				if rep.UncertainConfs > 0 {
+					uncertain++
+				}
+			}
+			fmt.Printf("%-32s nodes=%v uncertain=%d\n", pre.Test, rep.NodesStarted, rep.UncertainConfs)
+			if *verbose {
+				entities := make([]string, 0, len(rep.Usage))
+				for e := range rep.Usage {
+					entities = append(entities, e)
+				}
+				sort.Strings(entities)
+				for _, e := range entities {
+					var ps []string
+					for p := range rep.Usage[e] {
+						ps = append(ps, p)
+					}
+					sort.Strings(ps)
+					fmt.Printf("    %-24s %s\n", e, strings.Join(ps, " "))
+				}
+			}
+		}
+		fmt.Printf("\n%d tests: %d without nodes (filtered), %d sharing configuration, %d with uncertain objects\n",
+			len(pres), nodeless, sharing, uncertain)
+		fmt.Printf("instances: original=%d after-pre-run=%d after-uncertainty=%d\n\n",
+			gen.OriginalCount(len(pres), app.NodeTypes),
+			gen.CountAfterPreRun(pres),
+			gen.CountAfterUncertainty(pres))
+	}
+}

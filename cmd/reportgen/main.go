@@ -1,0 +1,44 @@
+// Command reportgen renders campaign JSON (written by `zebraconf -json`)
+// as the Markdown tables EXPERIMENTS.md embeds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/report"
+)
+
+func main() {
+	var (
+		in = flag.String("in", "campaign.json", "campaign JSON produced by zebraconf -json")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var results []*campaign.Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		fmt.Fprintf(os.Stderr, "reportgen: decode %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+	report.SortResults(results)
+
+	fmt.Println("## Campaign results")
+	fmt.Println()
+	for _, res := range results {
+		report.Markdown(os.Stdout, res)
+	}
+	s := report.Summarize(results)
+	uniq, trueOnes := report.UniqueParams(results)
+	fmt.Printf("**Overall:** %d reports, %d distinct parameters (%d true problems, %d false positives as scored by the registries' ground truth), %d unit-test executions.\n",
+		s.Reported, uniq, trueOnes, uniq-trueOnes, s.Executed)
+}

@@ -1,0 +1,3 @@
+module zebraconf
+
+go 1.22

@@ -1,0 +1,45 @@
+// Package apps enumerates the five target applications, the analog of the
+// paper's evaluation targets (Table 1).
+package apps
+
+import (
+	"fmt"
+
+	"zebraconf/internal/apps/miniflink"
+	"zebraconf/internal/apps/minihbase"
+	"zebraconf/internal/apps/minihdfs"
+	"zebraconf/internal/apps/minimr"
+	"zebraconf/internal/apps/miniyarn"
+	"zebraconf/internal/core/harness"
+)
+
+// All returns fresh descriptors for every target application, in the
+// paper's table order.
+func All() []*harness.App {
+	return []*harness.App{
+		miniflink.App(),
+		minihbase.App(),
+		minihdfs.App(),
+		minimr.App(),
+		miniyarn.App(),
+	}
+}
+
+// ByName resolves one application.
+func ByName(name string) (*harness.App, error) {
+	for _, app := range All() {
+		if app.Name == name {
+			return app, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (have flink/hbase/hdfs/mr/yarn minis)", name)
+}
+
+// Names lists the application names in table order.
+func Names() []string {
+	var out []string
+	for _, app := range All() {
+		out = append(out, app.Name)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package common
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Checksum type names (the HDFS dfs.checksum.type analog).
+const (
+	ChecksumCRC32  = "CRC32"
+	ChecksumCRC32C = "CRC32C"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumChunk computes one chunk checksum of the named type.
+func ChecksumChunk(typ string, chunk []byte) (uint32, error) {
+	switch typ {
+	case ChecksumCRC32:
+		return crc32.ChecksumIEEE(chunk), nil
+	case ChecksumCRC32C:
+		return crc32.Checksum(chunk, castagnoli), nil
+	default:
+		return 0, fmt.Errorf("common: unknown checksum type %q", typ)
+	}
+}
+
+// ComputeChecksums splits data into bytesPerSum-sized chunks and checksums
+// each with the named algorithm — the layout a DataNode persists next to a
+// block. bytesPerSum must be positive.
+func ComputeChecksums(data []byte, typ string, bytesPerSum int64) ([]uint32, error) {
+	if bytesPerSum <= 0 {
+		return nil, fmt.Errorf("common: bytes per checksum must be positive, got %d", bytesPerSum)
+	}
+	n := (int64(len(data)) + bytesPerSum - 1) / bytesPerSum
+	sums := make([]uint32, 0, n)
+	for off := int64(0); off < int64(len(data)); off += bytesPerSum {
+		end := off + bytesPerSum
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		s, err := ChecksumChunk(typ, data[off:end])
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	return sums, nil
+}
+
+// VerifyChecksums re-computes checksums with the verifier's own settings and
+// compares them to the stored sums. A verifier configured with a different
+// checksum type or chunk size than the writer fails here, reproducing the
+// Table 3 findings for dfs.checksum.type and dfs.bytes-per-checksum
+// ("Checksum verification fails on DataNode").
+func VerifyChecksums(data []byte, stored []uint32, typ string, bytesPerSum int64) error {
+	sums, err := ComputeChecksums(data, typ, bytesPerSum)
+	if err != nil {
+		return err
+	}
+	if len(sums) != len(stored) {
+		return fmt.Errorf("common: checksum verification failed: %d chunks expected with %d bytes/sum, stored %d",
+			len(sums), bytesPerSum, len(stored))
+	}
+	for i := range sums {
+		if sums[i] != stored[i] {
+			return fmt.Errorf("common: checksum verification failed at chunk %d: computed %08x (type %s), stored %08x",
+				i, sums[i], typ, stored[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package common
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/rpcsim"
+	"zebraconf/internal/simtime"
+)
+
+func testScale() *simtime.Scale { return &simtime.Scale{Tick: 100 * time.Microsecond} }
+
+func newConf() *confkit.Conf {
+	return confkit.NewRuntime(NewRegistry()).NewConf()
+}
+
+func TestRegistryShape(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry()
+	if r.Lookup(ParamRPCProtection) == nil || r.Lookup(ParamRPCTimeout) == nil {
+		t.Fatal("Table 3 common parameters missing")
+	}
+	if r.TruthCount(confkit.SafetyUnsafe) != 2 {
+		t.Fatalf("unsafe count = %d, want 2", r.TruthCount(confkit.SafetyUnsafe))
+	}
+	if r.TruthCount(confkit.SafetyFalsePositive) != 4 {
+		t.Fatalf("false-positive count = %d, want the 4 shared-IPC parameters",
+			r.TruthCount(confkit.SafetyFalsePositive))
+	}
+}
+
+func TestSecurityFromConf(t *testing.T) {
+	t.Parallel()
+	conf := newConf()
+	sec := SecurityFromConf(conf)
+	if sec.Protection != ProtectionAuthentication {
+		t.Fatalf("default protection %q", sec.Protection)
+	}
+	conf.Set(ParamRPCProtection, ProtectionPrivacy)
+	if SecurityFromConf(conf).Protection != ProtectionPrivacy {
+		t.Fatal("protection change not reflected")
+	}
+}
+
+func TestServeIPCPingDerivation(t *testing.T) {
+	t.Parallel()
+	fx := rpcsim.NewFabric()
+	scale := testScale()
+	serverConf := newConf()
+	serverConf.SetInt(ParamRPCTimeout, 400)
+	srv, err := ServeIPC(fx, "svc", serverConf, scale, SecurityFromConf(serverConf),
+		func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDelayTicks(200) // slower than a short client timeout
+
+	// A client with a 60-tick timeout starves: the server pings only
+	// every 133 ticks.
+	shortConf := newConf()
+	shortConf.SetInt(ParamRPCTimeout, 60)
+	conn, err := DialIPC(fx, "svc", shortConf, scale, SecurityFromConf(shortConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Call("op", nil); err == nil {
+		t.Fatal("short-timeout client survived a slow call without pings")
+	}
+
+	// A homogeneous short-timeout cluster is fine: server pings at 20.
+	serverConf2 := newConf()
+	serverConf2.SetInt(ParamRPCTimeout, 60)
+	srv2, err := ServeIPC(fx, "svc2", serverConf2, scale, SecurityFromConf(serverConf2),
+		func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.SetDelayTicks(200)
+	conn2, err := DialIPC(fx, "svc2", shortConf, scale, SecurityFromConf(shortConf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := conn2.Call("op", nil); err != nil || string(out) != "ok" {
+		t.Fatalf("homogeneous short-timeout call = (%q, %v)", out, err)
+	}
+}
+
+func TestSharedIPCCrossCheck(t *testing.T) {
+	t.Parallel()
+	rt := confkit.NewRuntime(NewRegistry())
+	shared := NewSharedIPC(rt)
+
+	confA := rt.NewConf()
+	confB := rt.NewConf()
+	if err := shared.Use(confA); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if err := shared.Use(confB); err != nil {
+		t.Fatalf("agreeing second use: %v", err)
+	}
+	confB.SetInt(ParamIPCMaxRetries, 99)
+	err := shared.Use(confB)
+	if err == nil || !strings.Contains(err.Error(), ParamIPCMaxRetries) {
+		t.Fatalf("disagreeing use: %v", err)
+	}
+}
+
+func TestSharedIPCDisableSharing(t *testing.T) {
+	t.Parallel()
+	rt := confkit.NewRuntime(NewRegistry())
+	shared := NewSharedIPC(rt)
+	shared.DisableSharing()
+	conf := rt.NewConf()
+	conf.SetInt(ParamIPCMaxRetries, 99)
+	if err := shared.Use(conf); err != nil {
+		t.Fatalf("fixed component still cross-checks: %v", err)
+	}
+}
+
+func TestChecksumMatrix(t *testing.T) {
+	t.Parallel()
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	for _, typ := range []string{ChecksumCRC32, ChecksumCRC32C} {
+		for _, bps := range []int64{128, 512, 4096} {
+			sums, err := ComputeChecksums(data, typ, bps)
+			if err != nil {
+				t.Fatalf("compute %s/%d: %v", typ, bps, err)
+			}
+			if err := VerifyChecksums(data, sums, typ, bps); err != nil {
+				t.Fatalf("verify %s/%d: %v", typ, bps, err)
+			}
+		}
+	}
+	sums, _ := ComputeChecksums(data, ChecksumCRC32, 512)
+	if VerifyChecksums(data, sums, ChecksumCRC32C, 512) == nil {
+		t.Fatal("type skew accepted")
+	}
+	if VerifyChecksums(data, sums, ChecksumCRC32, 4096) == nil {
+		t.Fatal("chunk-size skew accepted")
+	}
+	if _, err := ComputeChecksums(data, "MD5", 512); err == nil {
+		t.Fatal("unknown checksum type accepted")
+	}
+	if _, err := ComputeChecksums(data, ChecksumCRC32, 0); err == nil {
+		t.Fatal("zero bytes-per-sum accepted")
+	}
+}
+
+// Property: matching settings always verify; corrupting a byte always
+// fails.
+func TestChecksumProperty(t *testing.T) {
+	t.Parallel()
+	fn := func(data []byte, useCRC32 bool, bpsSel uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		typ := ChecksumCRC32C
+		if useCRC32 {
+			typ = ChecksumCRC32
+		}
+		bps := int64(bpsSel%64) + 1
+		sums, err := ComputeChecksums(data, typ, bps)
+		if err != nil {
+			return false
+		}
+		if VerifyChecksums(data, sums, typ, bps) != nil {
+			return false
+		}
+		corrupted := append([]byte(nil), data...)
+		corrupted[0] ^= 0x01
+		return VerifyChecksums(corrupted, sums, typ, bps) != nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebAddrAndToken(t *testing.T) {
+	t.Parallel()
+	if addr, err := WebAddr(PolicyHTTPOnly, "host"); err != nil || addr != "http://host" {
+		t.Fatalf("WebAddr http = (%q, %v)", addr, err)
+	}
+	if _, err := WebAddr("GOPHER", "host"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	scale := testScale()
+	tok := IssueToken(scale, 5, 1000)
+	if tok.ID != 5 || tok.ExpiresAt != tok.IssuedAt+1000 {
+		t.Fatalf("token = %+v", tok)
+	}
+}
+
+func TestServeAndDialWeb(t *testing.T) {
+	t.Parallel()
+	fx := rpcsim.NewFabric()
+	scale := testScale()
+	conf := newConf()
+	// Use the HDFS-style policy parameter name locally for the test.
+	policyParam := "test.http.policy"
+	conf.Set(policyParam, PolicyHTTPSOnly)
+	if _, err := ServeWeb(fx, policyParam, "site", conf, scale,
+		func(string, []byte) ([]byte, error) { return []byte("page"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := DialWeb(fx, policyParam, "site", conf, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := conn.Call("index", nil); err != nil || string(out) != "page" {
+		t.Fatalf("web call = (%q, %v)", out, err)
+	}
+	// A client with the other policy cannot reach the endpoint.
+	otherConf := newConf()
+	otherConf.Set(policyParam, PolicyHTTPOnly)
+	if _, err := DialWeb(fx, policyParam, "site", otherConf, scale); err == nil {
+		t.Fatal("policy mismatch dial succeeded")
+	}
+}

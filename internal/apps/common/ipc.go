@@ -1,0 +1,120 @@
+package common
+
+import (
+	"fmt"
+	"sync"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/rpcsim"
+	"zebraconf/internal/simtime"
+)
+
+// SecurityFromConf derives the common-library part of a node's transport
+// security profile from its configuration. Applications extend the result
+// with their own fields (encryption, codecs, tokens).
+func SecurityFromConf(conf *confkit.Conf) rpcsim.Security {
+	return rpcsim.Security{
+		Protection: conf.Get(ParamRPCProtection),
+		Key:        "cluster-shared-key",
+	}
+}
+
+// ServeIPC binds an RPC endpoint whose keepalive ping cadence follows the
+// Hadoop convention: a third of the server's own rpc-timeout setting. That
+// derivation is what makes ipc.client.rpc-timeout.ms heterogeneous-unsafe —
+// a server configured with a long timeout pings too rarely to keep a
+// short-timeout client alive through a slow call.
+func ServeIPC(fx *rpcsim.Fabric, addr string, conf *confkit.Conf, scale *simtime.Scale,
+	sec rpcsim.Security, h rpcsim.Handler) (*rpcsim.Server, error) {
+	s, err := fx.Serve(addr, sec, scale, h)
+	if err != nil {
+		return nil, err
+	}
+	if t := conf.GetTicks(ParamRPCTimeout); t > 0 {
+		ping := t / 3
+		if ping < 1 {
+			ping = 1
+		}
+		s.SetPingTicks(ping)
+	}
+	return s, nil
+}
+
+// DialIPC dials addr with the caller's security profile and applies the
+// caller's rpc-timeout to every call on the returned connection.
+func DialIPC(fx *rpcsim.Fabric, addr string, conf *confkit.Conf, scale *simtime.Scale,
+	sec rpcsim.Security) (*rpcsim.Conn, error) {
+	conn, err := fx.Dial(addr, sec, scale)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetTimeoutTicks(conf.GetTicks(ParamRPCTimeout))
+	return conn, nil
+}
+
+// sharedIPCParams are the values the shared IPC component cross-checks
+// between its own configuration object and the caller's — the mechanism
+// behind the paper's four IPC false positives (§7.1).
+var sharedIPCParams = []string{
+	ParamIPCMaxRetries, ParamIPCMaxIdle, ParamIPCIdleThresh, ParamIPCKillMax,
+}
+
+// SharedIPC models the unit-test pathology of §7.1 "Violating assumptions":
+// one IPC component instance is shared by every node in the process. The
+// component owns a configuration object (created lazily by whichever node
+// touches it first) but also reads values from the calling node's
+// configuration; when ZebraConf assigns those parameters per node, the
+// component sees two values for one parameter inside one "node" and fails —
+// something impossible in a real deployment, hence a false positive.
+//
+// DisableSharing reproduces the paper's one-line Hadoop fix.
+type SharedIPC struct {
+	rt *confkit.Runtime
+
+	mu       sync.Mutex
+	conf     *confkit.Conf
+	disabled bool
+}
+
+// NewSharedIPC returns the component for one test environment.
+func NewSharedIPC(rt *confkit.Runtime) *SharedIPC {
+	return &SharedIPC{rt: rt}
+}
+
+// DisableSharing makes every caller use its own configuration, the paper's
+// fix; cross-check failures disappear.
+func (s *SharedIPC) DisableSharing() {
+	s.mu.Lock()
+	s.disabled = true
+	s.mu.Unlock()
+}
+
+// Use is called by a node about to perform IPC, passing its own
+// configuration. It returns an error when the shared component's view of
+// the IPC tuning parameters disagrees with the caller's.
+func (s *SharedIPC) Use(callerConf *confkit.Conf) error {
+	s.mu.Lock()
+	if s.disabled {
+		s.mu.Unlock()
+		// Fixed behaviour: the caller's configuration is authoritative.
+		for _, p := range sharedIPCParams {
+			_ = callerConf.Get(p)
+		}
+		return nil
+	}
+	if s.conf == nil {
+		// First user instantiates the component's own configuration
+		// object (Fig. 2c): it belongs to whatever node got here first.
+		s.conf = s.rt.NewConf()
+	}
+	own := s.conf
+	s.mu.Unlock()
+
+	for _, p := range sharedIPCParams {
+		ov, cv := own.Get(p), callerConf.Get(p)
+		if ov != cv {
+			return fmt.Errorf("common: shared IPC component: parameter %s is %q for the component but %q for the caller", p, ov, cv)
+		}
+	}
+	return nil
+}

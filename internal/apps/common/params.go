@@ -1,0 +1,127 @@
+// Package common is the Hadoop Common analog shared by the mini
+// applications: parameter definitions, the IPC layer over rpcsim, checksum
+// utilities, HTTP-policy addressing, and delegation tokens.
+//
+// Like the real Hadoop Common it contributes its own configuration
+// parameters to every application that includes it (paper Table 1 notes the
+// shared library's 336 parameters; this scaled-down analog contributes a
+// representative set, including the two Table 3 finds hadoop.rpc.protection
+// and ipc.client.rpc-timeout.ms, and the four IPC-sharing false-positive
+// parameters of §7.1).
+package common
+
+import "zebraconf/internal/confkit"
+
+// Parameter names contributed by the common library.
+const (
+	// ParamRPCProtection is hadoop.rpc.protection: the SASL protection
+	// level compared during the IPC handshake. Heterogeneous-unsafe
+	// (Table 3: "RPC client fails to connect to RPC servers").
+	ParamRPCProtection = "hadoop.rpc.protection"
+	// ParamRPCTimeout is ipc.client.rpc-timeout.ms (ticks). Clients bound
+	// calls by it; servers derive their keepalive ping cadence from it
+	// (timeout/3, the Hadoop convention). Heterogeneous-unsafe (Table 3:
+	// "Socket connection timeouts").
+	ParamRPCTimeout = "ipc.client.rpc-timeout.ms"
+
+	// The four IPC parameters involved in the shared-IPC false positive
+	// (§7.1 "Violating assumptions"): safe in a real deployment, but unit
+	// tests share one IPC component across nodes, and the component
+	// cross-checks these values between its own configuration object and
+	// the caller's, failing when ZebraConf assigns them per node.
+	ParamIPCMaxRetries = "ipc.client.connect.max.retries"
+	ParamIPCMaxIdle    = "ipc.client.connection.maxidletime"
+	ParamIPCIdleThresh = "ipc.client.idlethreshold"
+	ParamIPCKillMax    = "ipc.client.kill.max"
+
+	// Heterogeneous-safe parameters (local effect only).
+	ParamFileBufferSize  = "io.file.buffer.size"
+	ParamHandlerCount    = "ipc.server.handler.count"
+	ParamListenQueue     = "ipc.server.listen.queue.size"
+	ParamTmpDir          = "hadoop.tmp.dir"
+	ParamLogLevel        = "hadoop.log.level"
+	ParamTrashInterval   = "fs.trash.interval"
+	ParamHashType        = "hadoop.util.hash.type"
+	ParamConnectRetries  = "ipc.client.connect.retry.interval"
+	ParamGroupsCacheSecs = "hadoop.security.groups.cache.secs"
+	ParamTopologyArgs    = "net.topology.script.number.args"
+)
+
+// Protection levels for ParamRPCProtection.
+const (
+	ProtectionAuthentication = "authentication"
+	ProtectionIntegrity      = "integrity"
+	ProtectionPrivacy        = "privacy"
+)
+
+// NewRegistry returns a fresh registry holding the common library's
+// parameters. Applications call Include on it from their own registries.
+func NewRegistry() *confkit.Registry {
+	r := confkit.NewRegistry()
+	r.Register(
+		confkit.Param{
+			Name: ParamRPCProtection, Kind: confkit.Enum,
+			Default:    ProtectionAuthentication,
+			Candidates: []string{ProtectionAuthentication, ProtectionIntegrity, ProtectionPrivacy},
+			Doc:        "SASL protection level for RPC connections",
+			Truth:      confkit.SafetyUnsafe,
+			Why:        "RPC client fails to connect to RPC servers (handshake protection mismatch)",
+		},
+		confkit.Param{
+			Name: ParamRPCTimeout, Kind: confkit.Ticks, Default: "400",
+			Candidates: []string{"400", "4000", "150"},
+			Doc:        "client RPC call timeout in ticks; servers ping at a third of their value",
+			Truth:      confkit.SafetyUnsafe,
+			Why:        "socket connection timeouts: server keepalive cadence outlives a shorter client timeout",
+		},
+		confkit.Param{
+			Name: ParamIPCMaxRetries, Kind: confkit.Int, Default: "10",
+			Doc:   "connect retries before failing",
+			Truth: confkit.SafetyFalsePositive,
+			Why:   "unit tests share one IPC component across nodes; the component cross-checks this value against the caller's configuration (cannot differ within one node in a real deployment)",
+		},
+		confkit.Param{
+			Name: ParamIPCMaxIdle, Kind: confkit.Ticks, Default: "10000",
+			Doc:   "max idle time before closing a cached connection",
+			Truth: confkit.SafetyFalsePositive,
+			Why:   "shared IPC component cross-check, as ipc.client.connect.max.retries",
+		},
+		confkit.Param{
+			Name: ParamIPCIdleThresh, Kind: confkit.Int, Default: "4000",
+			Doc:   "connection count that triggers idle scanning",
+			Truth: confkit.SafetyFalsePositive,
+			Why:   "shared IPC component cross-check, as ipc.client.connect.max.retries",
+		},
+		confkit.Param{
+			Name: ParamIPCKillMax, Kind: confkit.Int, Default: "10",
+			Doc:   "max connections to close per idle scan",
+			Truth: confkit.SafetyFalsePositive,
+			Why:   "shared IPC component cross-check, as ipc.client.connect.max.retries",
+		},
+		confkit.Param{Name: ParamFileBufferSize, Kind: confkit.Int, Default: "4096",
+			Doc: "buffer size for sequential IO"},
+		confkit.Param{Name: ParamHandlerCount, Kind: confkit.Int, Default: "10",
+			Doc: "RPC handler goroutines per server"},
+		confkit.Param{Name: ParamListenQueue, Kind: confkit.Int, Default: "128",
+			Doc: "server accept backlog"},
+		confkit.Param{Name: ParamTmpDir, Kind: confkit.String, Default: "/tmp/hadoop",
+			Candidates: []string{"/tmp/hadoop", "/var/tmp/hadoop"},
+			Doc:        "local scratch directory"},
+		confkit.Param{Name: ParamLogLevel, Kind: confkit.Enum, Default: "info",
+			Candidates: []string{"debug", "info", "warn", "error"},
+			Doc:        "node log verbosity"},
+		confkit.Param{Name: ParamTrashInterval, Kind: confkit.Ticks, Default: "0",
+			Candidates: []string{"0", "60", "1440"},
+			Doc:        "minutes between trash checkpoints; 0 disables trash"},
+		confkit.Param{Name: ParamHashType, Kind: confkit.Enum, Default: "murmur",
+			Candidates: []string{"murmur", "jenkins"},
+			Doc:        "hash used for local partitioning utilities"},
+		confkit.Param{Name: ParamConnectRetries, Kind: confkit.Ticks, Default: "10",
+			Doc: "delay between connect retries"},
+		confkit.Param{Name: ParamGroupsCacheSecs, Kind: confkit.Ticks, Default: "300",
+			Doc: "group mapping cache lifetime"},
+		confkit.Param{Name: ParamTopologyArgs, Kind: confkit.Int, Default: "100",
+			Doc: "max args per topology script invocation"},
+	)
+	return r
+}

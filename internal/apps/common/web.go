@@ -1,0 +1,70 @@
+package common
+
+import (
+	"fmt"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/rpcsim"
+	"zebraconf/internal/simtime"
+)
+
+// HTTP policy values (the dfs.http.policy / yarn.http.policy analog).
+const (
+	PolicyHTTPOnly  = "HTTP_ONLY"
+	PolicyHTTPSOnly = "HTTPS_ONLY"
+)
+
+// WebAddr renders the scheme-qualified endpoint address a server with the
+// given policy binds, and a client with the given policy dials. A policy
+// mismatch therefore resolves to a different address and the dial fails
+// with ErrUnreachable — the Table 3 failure mode for dfs.http.policy and
+// yarn.http.policy ("fails to connect to HTTP server").
+func WebAddr(policy, host string) (string, error) {
+	switch policy {
+	case PolicyHTTPOnly:
+		return "http://" + host, nil
+	case PolicyHTTPSOnly:
+		return "https://" + host, nil
+	default:
+		return "", fmt.Errorf("common: unknown http policy %q", policy)
+	}
+}
+
+// ServeWeb binds a web endpoint for host under the server's policy.
+func ServeWeb(fx *rpcsim.Fabric, policyParam, host string, conf *confkit.Conf,
+	scale *simtime.Scale, h rpcsim.Handler) (*rpcsim.Server, error) {
+	addr, err := WebAddr(conf.Get(policyParam), host)
+	if err != nil {
+		return nil, err
+	}
+	// Web endpoints use plain transport; policy selects only the scheme.
+	return fx.Serve(addr, rpcsim.Security{}, scale, h)
+}
+
+// DialWeb dials host's web endpoint under the client's policy.
+func DialWeb(fx *rpcsim.Fabric, policyParam, host string, conf *confkit.Conf,
+	scale *simtime.Scale) (*rpcsim.Conn, error) {
+	addr, err := WebAddr(conf.Get(policyParam), host)
+	if err != nil {
+		return nil, err
+	}
+	return fx.Dial(addr, rpcsim.Security{}, scale)
+}
+
+// Token is a delegation token. Its lifetime is fixed at issue time from the
+// issuer's renew-interval configuration; a validator applies its own
+// configuration when reasoning about expiry order, which is how
+// yarn.resourcemanager.delegation.token.renew-interval becomes
+// heterogeneous-unsafe (Table 3: "newer tokens expire earlier than prior
+// tokens").
+type Token struct {
+	ID        int
+	IssuedAt  int64 // scale ticks
+	ExpiresAt int64
+}
+
+// IssueToken mints a token expiring renewInterval ticks from now.
+func IssueToken(scale *simtime.Scale, id int, renewInterval int64) Token {
+	now := scale.Now()
+	return Token{ID: id, IssuedAt: now, ExpiresAt: now + renewInterval}
+}

@@ -1,0 +1,133 @@
+package miniflink
+
+import (
+	"strings"
+	"testing"
+
+	"zebraconf/internal/core/harness"
+)
+
+func newTestEnv(t *testing.T) *harness.Env {
+	t.Helper()
+	env := harness.NewEnv(NewRegistry(), nil, 1)
+	t.Cleanup(env.Close)
+	return env
+}
+
+func startStack(t *testing.T, env *harness.Env, tms int) (*JobManager, []*TaskManager) {
+	t.Helper()
+	conf := env.RT.NewConf()
+	jm, err := StartJobManager(env, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(jm.Stop)
+	var out []*TaskManager
+	for i := 0; i < tms; i++ {
+		tm, err := StartTaskManager(env, conf, "tm"+string(rune('0'+i)), conf.Get(ParamJMAddress))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(tm.Stop)
+		out = append(out, tm)
+	}
+	return jm, out
+}
+
+func TestDeploySpreadsTasksBySlots(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	jm, tms := startStack(t, env, 2)
+	// Default slots = 2 per TM; parallelism 4 fills both TMs exactly.
+	if err := jm.deploy(&SubmitJobReq{JobID: "j", Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if tms[0].DeployedTasks() != 2 || tms[1].DeployedTasks() != 2 {
+		t.Fatalf("deployment = %d/%d, want 2/2", tms[0].DeployedTasks(), tms[1].DeployedTasks())
+	}
+}
+
+func TestDeployOverflowFailsCleanly(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	jm, _ := startStack(t, env, 1)
+	err := jm.deploy(&SubmitJobReq{JobID: "j", Parallelism: 3})
+	if err == nil || !strings.Contains(err.Error(), "cannot place task") {
+		t.Fatalf("overflow deploy: %v", err)
+	}
+}
+
+func TestSlotRejectionWhenTMSmaller(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	jmConf := env.RT.NewConf() // slots = 2 (JM's assumption)
+	jm, err := StartJobManager(env, jmConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm.Stop()
+	tmConf := env.RT.NewConf()
+	tmConf.SetInt(ParamTaskSlots, 1) // the TaskManager really has 1
+	tm, err := ConstructTaskManager(env, tmConf, "tm0", jmConf.Get(ParamJMAddress))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Stop()
+
+	err = jm.deploy(&SubmitJobReq{JobID: "j", Parallelism: 2})
+	if err == nil || !strings.Contains(err.Error(), "failed to allocate slot") {
+		t.Fatalf("slot-skew deploy: %v", err)
+	}
+}
+
+func TestSlotDoubleBookingRejected(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	jm, _ := startStack(t, env, 1)
+	if err := jm.deploy(&SubmitJobReq{JobID: "a", Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// All slots are taken; a second job cannot double-book them.
+	if err := jm.deploy(&SubmitJobReq{JobID: "b", Parallelism: 1}); err == nil {
+		t.Fatal("double booking succeeded")
+	}
+}
+
+func TestDataExchangeDelivery(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	_, tms := startStack(t, env, 2)
+	if err := tms[0].SendTo("tm1-data", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tms[1].Received(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("received = %v", got)
+	}
+}
+
+func TestDataSSLSkewFailsExchange(t *testing.T) {
+	t.Parallel()
+	env := newTestEnv(t)
+	conf := env.RT.NewConf()
+	jm, err := StartJobManager(env, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm.Stop()
+	plain, err := StartTaskManager(env, conf, "tmp", conf.Get(ParamJMAddress))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Stop()
+	sslConf := env.RT.NewConf()
+	sslConf.SetBool(ParamDataSSL, true)
+	ssl, err := ConstructTaskManager(env, sslConf, "tms", conf.Get(ParamJMAddress))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ssl.Stop()
+
+	if err := plain.SendTo("tms-data", []string{"r"}); err == nil {
+		t.Fatal("plaintext exchange to a TLS data endpoint succeeded")
+	}
+}

@@ -1,0 +1,71 @@
+package minihbase
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mini-Thrift wire format. Like the real Thrift stack, the protocol
+// (binary vs compact) is announced by a protocol-id byte, and the framed
+// transport wraps messages in a length prefix. Each endpoint encodes and
+// decodes with ITS OWN configuration — so compact/framed skew fails with
+// exactly the errors real Thrift produces: "unknown protocol id" and
+// "invalid frame size".
+
+const (
+	binaryProtocolID  = 0x80
+	compactProtocolID = 0x82
+	protocolVersion   = 0x01
+	// maxFrameSize guards the framed decoder, like TFramedTransport's
+	// maximum message size.
+	maxFrameSize = 1 << 20
+)
+
+// thriftEncode wraps body per the compact/framed settings.
+func thriftEncode(compact, framed bool, body []byte) []byte {
+	header := byte(binaryProtocolID)
+	if compact {
+		header = compactProtocolID
+	}
+	msg := make([]byte, 0, len(body)+6)
+	msg = append(msg, header, protocolVersion)
+	msg = append(msg, body...)
+	if !framed {
+		return msg
+	}
+	out := make([]byte, 4, 4+len(msg))
+	binary.BigEndian.PutUint32(out, uint32(len(msg)))
+	return append(out, msg...)
+}
+
+// thriftDecode unwraps a message per the receiver's compact/framed
+// settings.
+func thriftDecode(compact, framed bool, wire []byte) ([]byte, error) {
+	if framed {
+		if len(wire) < 4 {
+			return nil, fmt.Errorf("minihbase: thrift: truncated frame header")
+		}
+		size := binary.BigEndian.Uint32(wire)
+		if size > maxFrameSize {
+			return nil, fmt.Errorf("minihbase: thrift: invalid frame size %d (peer not using framed transport?)", size)
+		}
+		wire = wire[4:]
+		if uint32(len(wire)) != size {
+			return nil, fmt.Errorf("minihbase: thrift: frame size %d, have %d bytes", size, len(wire))
+		}
+	}
+	if len(wire) < 2 {
+		return nil, fmt.Errorf("minihbase: thrift: truncated message")
+	}
+	want := byte(binaryProtocolID)
+	if compact {
+		want = compactProtocolID
+	}
+	if wire[0] != want {
+		return nil, fmt.Errorf("minihbase: thrift: unknown protocol id 0x%02x (expected 0x%02x)", wire[0], want)
+	}
+	if wire[1] != protocolVersion {
+		return nil, fmt.Errorf("minihbase: thrift: unsupported protocol version 0x%02x", wire[1])
+	}
+	return wire[2:], nil
+}

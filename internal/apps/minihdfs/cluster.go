@@ -1,0 +1,187 @@
+package minihdfs
+
+import (
+	"fmt"
+
+	"zebraconf/internal/apps/common"
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/harness"
+)
+
+// ClusterOptions configures a MiniDFSCluster.
+type ClusterOptions struct {
+	// DataNodes is the number of DataNodes to start (default 2).
+	DataNodes int
+	// Domains assigns upgrade domains per DataNode index; when shorter
+	// than DataNodes, domain i defaults to "ud-<i mod 3>".
+	Domains []string
+	// Tiers assigns storage tiers per DataNode index (default TierDisk).
+	Tiers []string
+	// Capacity is each DataNode's raw capacity (default 100000).
+	Capacity int64
+	// ReserveCriticalBandwidth enables the paper's proposed bandwidth fix
+	// on every DataNode.
+	ReserveCriticalBandwidth float64
+	// WithSecondary also starts a SecondaryNameNode.
+	WithSecondary bool
+	// WithJournal also starts a JournalNode.
+	WithJournal bool
+	// SharedIPC wires the process-shared IPC component into every
+	// DataNode (the §7.1 false-positive pathology).
+	SharedIPC *common.SharedIPC
+}
+
+// Cluster is the MiniDFSCluster analog (paper §3.2): a whole HDFS running
+// as goroutines in one process, built from one shared configuration object
+// exactly the way the Java unit tests share theirs.
+type Cluster struct {
+	Env  *harness.Env
+	Conf *confkit.Conf
+	NN   *NameNode
+	DNs  []*DataNode
+	SNN  *SecondaryNameNode
+	JN   *JournalNode
+
+	opts ClusterOptions
+}
+
+// NNAddr is the NameNode IPC address within a cluster's fabric.
+const NNAddr = "nn"
+
+// JNAddr is the JournalNode address.
+const JNAddr = "jn"
+
+// StartCluster boots a cluster sharing conf across every node — the
+// configuration-sharing pattern ZebraConf's Rule 2 untangles. The cluster
+// registers its shutdown with the environment, so nodes stop even if the
+// test times out.
+func StartCluster(env *harness.Env, conf *confkit.Conf, opts ClusterOptions) (*Cluster, error) {
+	if opts.DataNodes <= 0 {
+		opts.DataNodes = 2
+	}
+	c := &Cluster{Env: env, Conf: conf, opts: opts}
+	env.Defer(c.Shutdown)
+
+	nn, err := StartNameNode(env, conf, NNAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.NN = nn
+	for i := 0; i < opts.DataNodes; i++ {
+		if _, err := c.AddDataNode(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.WithSecondary {
+		snn, err := StartSecondaryNameNode(env, conf, NNAddr)
+		if err != nil {
+			return nil, err
+		}
+		c.SNN = snn
+	}
+	if opts.WithJournal {
+		jn, err := StartJournalNode(env, conf, JNAddr)
+		if err != nil {
+			return nil, err
+		}
+		c.JN = jn
+	}
+	return c, nil
+}
+
+// AddDataNode starts one more DataNode (used by balancing tests that first
+// fill a small cluster, then add an empty node).
+func (c *Cluster) AddDataNode() (*DataNode, error) {
+	i := len(c.DNs)
+	domain := fmt.Sprintf("ud-%d", i%3)
+	if i < len(c.opts.Domains) {
+		domain = c.opts.Domains[i]
+	}
+	tier := ""
+	if i < len(c.opts.Tiers) {
+		tier = c.opts.Tiers[i]
+	}
+	dn, err := StartDataNode(c.Env, c.Conf, fmt.Sprintf("dn%d", i), NNAddr, DataNodeOptions{
+		Domain:                   domain,
+		Tier:                     tier,
+		Capacity:                 c.opts.Capacity,
+		ReserveCriticalBandwidth: c.opts.ReserveCriticalBandwidth,
+		SharedIPC:                c.opts.SharedIPC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.DNs = append(c.DNs, dn)
+	return dn, nil
+}
+
+// Shutdown stops every node. It is idempotent.
+func (c *Cluster) Shutdown() {
+	for _, dn := range c.DNs {
+		dn.Stop()
+	}
+	if c.SNN != nil {
+		c.SNN.Stop()
+	}
+	if c.JN != nil {
+		c.JN.Stop()
+	}
+	if c.NN != nil {
+		c.NN.Stop()
+	}
+}
+
+// Client opens a DFS client over the given configuration (usually the unit
+// test's own object, making the test the "client" node).
+func (c *Cluster) Client(conf *confkit.Conf) (*Client, error) {
+	return NewClient(c.Env, conf, NNAddr)
+}
+
+// ActiveDeadline returns how long a client with the given configuration
+// should wait for the cluster to come up: the first heartbeat arrives one
+// (DataNode-configured) interval after boot, so the deadline must scale
+// with the interval the CLIENT believes the cluster uses.
+func (c *Cluster) ActiveDeadline(conf *confkit.Conf) int64 {
+	return 2000 + 12*conf.GetTicks(ParamHeartbeatInterval)
+}
+
+// WaitActive blocks until the NameNode has received a heartbeat from every
+// DataNode, or deadlineTicks elapse.
+func (c *Cluster) WaitActive(client *Client, deadlineTicks int64) error {
+	deadline := c.Env.Scale.Now() + deadlineTicks
+	for {
+		stats, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		if stats.CapacityTotal > 0 && stats.LiveDNs >= len(c.DNs) {
+			return nil
+		}
+		if c.Env.Scale.Now() > deadline {
+			return fmt.Errorf("minihdfs: cluster not active after %d ticks: %d/%d live datanodes",
+				deadlineTicks, stats.LiveDNs, len(c.DNs))
+		}
+		c.Env.Scale.Sleep(2)
+	}
+}
+
+// WaitReplicas blocks until the NameNode accounts exactly n block replicas,
+// or deadlineTicks elapse; it returns the last observed count.
+func (c *Cluster) WaitReplicas(client *Client, n int, deadlineTicks int64) (int, error) {
+	deadline := c.Env.Scale.Now() + deadlineTicks
+	last := -1
+	for {
+		stats, err := client.Stats()
+		if err != nil {
+			return last, err
+		}
+		last = stats.Replicas
+		if last == n {
+			return last, nil
+		}
+		if c.Env.Scale.Now() > deadline {
+			return last, fmt.Errorf("minihdfs: %d replicas after %d ticks, want %d", last, deadlineTicks, n)
+		}
+		c.Env.Scale.Sleep(2)
+	}
+}

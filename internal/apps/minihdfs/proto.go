@@ -1,0 +1,303 @@
+package minihdfs
+
+// RPC method names and request/response messages exchanged between
+// minihdfs nodes. Everything crossing the wire is JSON inside the rpcsim
+// envelope, so heterogeneous transport settings corrupt these bytes exactly
+// where a real deployment would corrupt its protobufs.
+
+// NameNode IPC methods.
+const (
+	MethodRegister          = "register"
+	MethodHeartbeat         = "heartbeat"
+	MethodBlockReceived     = "blockReceived"
+	MethodBlockDeleted      = "blockDeleted"
+	MethodCreate            = "create"
+	MethodAddBlock          = "addBlock"
+	MethodComplete          = "complete"
+	MethodDelete            = "delete"
+	MethodMkdir             = "mkdir"
+	MethodList              = "list"
+	MethodStats             = "stats"
+	MethodDatanodeReport    = "datanodeReport"
+	MethodBlocksOnDN        = "blocksOnDN"
+	MethodAdditionalDN      = "additionalDatanode"
+	MethodReportBadBlocks   = "reportBadBlocks"
+	MethodListCorrupt       = "listCorruptFileBlocks"
+	MethodCreateSnapshot    = "createSnapshot"
+	MethodSnapshotDiff      = "snapshotDiff"
+	MethodApproveMove       = "approveMove"
+	MethodSaveNamespace     = "saveNamespace"
+	MethodGetImage          = "getImage"
+	MethodGetBlockLocations = "getBlockLocations"
+	MethodAppend            = "append"
+	MethodSetStoragePolicy  = "setStoragePolicy"
+	MethodPolicyBlocks      = "policyBlocks"
+)
+
+// DataNode data/peer endpoint methods.
+const (
+	MethodWriteBlock     = "writeBlock"
+	MethodReadBlock      = "readBlock"
+	MethodMoveReplica    = "moveReplica"
+	MethodReceiveReplica = "receiveReplica"
+)
+
+// Balancer endpoint methods.
+const MethodProgress = "progress"
+
+// JournalNode methods.
+const (
+	MethodJournal           = "journal"
+	MethodFinalizeSegment   = "finalizeSegment"
+	MethodGetJournaledEdits = "getJournaledEdits"
+)
+
+// RegisterReq announces a DataNode to the NameNode.
+type RegisterReq struct {
+	DNID     string
+	DataAddr string // client-facing transfer endpoint
+	PeerAddr string // DN-to-DN transfer endpoint
+	Domain   string // upgrade domain
+	Tier     string // storage tier (DISK or ARCHIVE)
+}
+
+// HeartbeatReq reports a DataNode's state; the response carries pending
+// commands, mirroring HDFS's heartbeat piggybacking.
+type HeartbeatReq struct {
+	DNID      string
+	Capacity  int64
+	Remaining int64
+	Blocks    int
+}
+
+// HeartbeatResp returns blocks the DataNode must delete.
+type HeartbeatResp struct {
+	DeleteBlocks []int64
+}
+
+// BlockReportReq is an incremental block received/deleted notification.
+type BlockReportReq struct {
+	DNID    string
+	BlockID int64
+}
+
+// CreateReq creates a file; Replication and BlockSize are recorded per file
+// at create time (which is why dfs.replication and dfs.blocksize stay
+// heterogeneous-safe).
+type CreateReq struct {
+	Path        string
+	Replication int
+	BlockSize   int64
+}
+
+// AddBlockReq allocates the next block of a file being written.
+type AddBlockReq struct {
+	Path string
+	Len  int64
+}
+
+// AddBlockResp returns the allocated block and its pipeline.
+type AddBlockResp struct {
+	BlockID   int64
+	DataAddrs []string // client-facing endpoints, pipeline order
+	PeerAddrs []string // DN-to-DN endpoints, pipeline order
+	DNIDs     []string
+}
+
+// PathReq addresses a path (complete, delete, mkdir, list).
+type PathReq struct {
+	Path string
+}
+
+// ListResp lists directory children.
+type ListResp struct {
+	Names []string
+}
+
+// StatsResp is the public cluster statistics API (fsck/dfsadmin analog).
+type StatsResp struct {
+	Files         int
+	Blocks        int
+	Replicas      int
+	CapacityTotal int64
+	Remaining     int64
+	LiveDNs       int
+	DeadDNs       int
+	StaleDNs      int
+}
+
+// DNInfo describes one DataNode in a datanodeReport.
+type DNInfo struct {
+	DNID      string
+	PeerAddr  string
+	Domain    string
+	Tier      string
+	Blocks    int
+	Capacity  int64
+	Remaining int64
+	Dead      bool
+	Stale     bool
+}
+
+// DatanodeReportResp lists all registered DataNodes.
+type DatanodeReportResp struct {
+	Nodes []DNInfo
+}
+
+// BlockOnDN describes one replica for balancing decisions.
+type BlockOnDN struct {
+	BlockID   int64
+	Len       int64
+	Locations []string // DN IDs currently holding replicas
+}
+
+// BlocksOnDNResp lists the blocks stored on one DataNode.
+type BlocksOnDNResp struct {
+	Blocks []BlockOnDN
+}
+
+// AdditionalDNReq asks for a replacement pipeline DataNode.
+type AdditionalDNReq struct {
+	Path    string
+	Exclude []string
+}
+
+// AdditionalDNResp returns the replacement.
+type AdditionalDNResp struct {
+	DNID     string
+	DataAddr string
+	PeerAddr string
+}
+
+// BadBlocksReq reports corrupt blocks (public client API).
+type BadBlocksReq struct {
+	BlockIDs []int64
+}
+
+// ListCorruptResp returns corrupt blocks, truncated at the NameNode's
+// configured maximum.
+type ListCorruptResp struct {
+	BlockIDs  []int64
+	Truncated bool
+}
+
+// PolicyReq tags a file with a storage policy (HOT or COLD).
+type PolicyReq struct {
+	Path   string
+	Policy string
+}
+
+// SnapshotReq creates a snapshot of Root or diffs Path within Root.
+type SnapshotReq struct {
+	Root string
+	Path string
+	Name string
+}
+
+// SnapshotDiffResp lists changed paths.
+type SnapshotDiffResp struct {
+	Changed []string
+}
+
+// ApproveMoveReq asks the NameNode to validate a balancing move against its
+// block placement policy.
+type ApproveMoveReq struct {
+	BlockID int64
+	FromDN  string
+	ToDN    string
+}
+
+// BlockLocationsReq resolves a file's blocks.
+type BlockLocationsReq struct {
+	Path string
+}
+
+// BlockLocation describes one block of a file.
+type BlockLocation struct {
+	BlockID   int64
+	Len       int64
+	DataAddrs []string
+}
+
+// BlockLocationsResp lists a file's blocks in order.
+type BlockLocationsResp struct {
+	Blocks []BlockLocation
+}
+
+// ImageResp carries a serialized namespace image (possibly compressed,
+// per the serving NameNode's dfs.image.compress).
+type ImageResp struct {
+	Image      []byte
+	Compressed bool
+}
+
+// WriteBlockReq writes a block replica; Sums were computed by the sender
+// with the sender's checksum configuration, and the receiver verifies with
+// its own (the homogeneity assumption ZebraConf probes).
+type WriteBlockReq struct {
+	BlockID   int64
+	Data      []byte
+	Sums      []uint32
+	PeerAddrs []string // remaining pipeline (DN-to-DN endpoints)
+}
+
+// ReadBlockReq reads a block replica.
+type ReadBlockReq struct {
+	BlockID int64
+}
+
+// ReadBlockResp returns the replica and its stored checksums.
+type ReadBlockResp struct {
+	Data []byte
+	Sums []uint32
+}
+
+// MoveReplicaReq asks a source DataNode to move a replica for balancing.
+type MoveReplicaReq struct {
+	BlockID      int64
+	TargetPeer   string
+	TargetDNID   string
+	BalancerAddr string
+}
+
+// ReceiveReplicaReq delivers a balanced replica to the target DataNode.
+type ReceiveReplicaReq struct {
+	BlockID      int64
+	Data         []byte
+	Sums         []uint32
+	BalancerAddr string
+}
+
+// ProgressReq is a balancing progress report.
+type ProgressReq struct {
+	DNID    string
+	BlockID int64
+}
+
+// JournalReq appends edits to a JournalNode segment.
+type JournalReq struct {
+	SegmentID int64
+	Edits     []string
+}
+
+// SegmentReq finalizes a segment.
+type SegmentReq struct {
+	SegmentID int64
+}
+
+// GetEditsReq tails edits from a JournalNode. InProgressOK reflects the
+// requester's dfs.ha.tail-edits.in-progress setting.
+type GetEditsReq struct {
+	SinceTxn     int64
+	InProgressOK bool
+}
+
+// GetEditsResp returns the tailed edits.
+type GetEditsResp struct {
+	Edits []string
+}
+
+// ErrMoverBusy is the decline message a DataNode returns when all its
+// balancing mover threads are occupied; the Balancer's congestion control
+// reacts with a fixed backoff (paper §7.1).
+const ErrMoverBusy = "mover threads busy"

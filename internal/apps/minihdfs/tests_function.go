@@ -1,0 +1,111 @@
+package minihdfs
+
+import (
+	"bytes"
+
+	"zebraconf/internal/apps/common"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/netsim"
+)
+
+// functionLevelTests are classic unit tests targeting individual functions.
+// None of them starts a node, so ZebraConf's pre-run filters every one of
+// them out of heterogeneous testing (paper §4: "many unit tests do not
+// create any nodes") — they exist to make that filtering measurable, and to
+// cover the package's pure logic.
+func functionLevelTests() []harness.UnitTest {
+	return []harness.UnitTest{
+		{Name: "TestSplitPath", Run: func(t *harness.T) {
+			cases := []struct{ in, parent, name string }{
+				{"/a", "/", "a"},
+				{"/a/b", "/a", "b"},
+				{"/a/b/c", "/a/b", "c"},
+			}
+			for _, c := range cases {
+				if p, n := splitPath(c.in); p != c.parent || n != c.name {
+					t.Fatalf("splitPath(%q) = (%q, %q), want (%q, %q)", c.in, p, n, c.parent, c.name)
+				}
+			}
+		}},
+		{Name: "TestChecksumRoundTrip", Run: func(t *harness.T) {
+			data := testData(2000)
+			sums, err := common.ComputeChecksums(data, common.ChecksumCRC32C, 512)
+			t.NoErr(err, "compute checksums")
+			t.NoErr(common.VerifyChecksums(data, sums, common.ChecksumCRC32C, 512), "verify checksums")
+		}},
+		{Name: "TestChecksumTypeMismatch", Run: func(t *harness.T) {
+			data := testData(600)
+			sums, err := common.ComputeChecksums(data, common.ChecksumCRC32, 512)
+			t.NoErr(err, "compute checksums")
+			if common.VerifyChecksums(data, sums, common.ChecksumCRC32C, 512) == nil {
+				t.Fatalf("verification with a different checksum type unexpectedly succeeded")
+			}
+		}},
+		{Name: "TestChecksumChunkingMismatch", Run: func(t *harness.T) {
+			data := testData(2048)
+			sums, err := common.ComputeChecksums(data, common.ChecksumCRC32C, 512)
+			t.NoErr(err, "compute checksums")
+			if common.VerifyChecksums(data, sums, common.ChecksumCRC32C, 1024) == nil {
+				t.Fatalf("verification with a different chunk size unexpectedly succeeded")
+			}
+		}},
+		{Name: "TestImageRoundTrip", Run: func(t *harness.T) {
+			raw := []byte(`[{"Path":"/x","Blocks":[1,2]}]`)
+			got, err := DecodeImage(raw, false)
+			t.NoErr(err, "decode uncompressed image")
+			if !bytes.Equal(got, raw) {
+				t.Fatalf("uncompressed image changed in decode")
+			}
+		}},
+		{Name: "TestWebAddrSchemes", Run: func(t *harness.T) {
+			if addr, err := common.WebAddr(common.PolicyHTTPOnly, "h"); err != nil || addr != "http://h" {
+				t.Fatalf("WebAddr(HTTP_ONLY) = %q, %v", addr, err)
+			}
+			if addr, err := common.WebAddr(common.PolicyHTTPSOnly, "h"); err != nil || addr != "https://h" {
+				t.Fatalf("WebAddr(HTTPS_ONLY) = %q, %v", addr, err)
+			}
+			if _, err := common.WebAddr("FTP", "h"); err == nil {
+				t.Fatalf("WebAddr accepted an unknown policy")
+			}
+		}},
+		{Name: "TestThrottlerUnlimited", Run: func(t *harness.T) {
+			th := netsim.NewThrottler(t.Env.Scale, 0)
+			th.Acquire(1 << 30) // must not block
+		}},
+		{Name: "TestThrottlerRateChange", Run: func(t *harness.T) {
+			th := netsim.NewThrottler(t.Env.Scale, 5)
+			th.SetRate(0)
+			th.Acquire(1 << 20) // unlimited after reconfiguration
+			if th.Rate() != 0 {
+				t.Fatalf("rate after SetRate(0) = %d", th.Rate())
+			}
+		}},
+		{Name: "TestTokenExpiryOrder", Run: func(t *harness.T) {
+			early := common.IssueToken(t.Env.Scale, 1, 100)
+			late := common.IssueToken(t.Env.Scale, 2, 200)
+			if late.ExpiresAt < early.ExpiresAt {
+				t.Fatalf("token with the longer interval expires earlier")
+			}
+		}},
+		{Name: "TestAbbreviate", Run: func(t *harness.T) {
+			if got := abbreviate("short"); got != "short" {
+				t.Fatalf("abbreviate(short) = %q", got)
+			}
+			long := string(testData(64))
+			if got := abbreviate(long); len(got) != 35 {
+				t.Fatalf("abbreviate(long) length = %d, want 35", len(got))
+			}
+		}},
+		{Name: "TestDefaultsPresent", Run: func(t *harness.T) {
+			// Reads configuration without starting nodes: still filtered by
+			// the pre-run because no node starts.
+			conf := t.Env.RT.NewConf()
+			if conf.GetInt(ParamBlockSize) <= 0 {
+				t.Fatalf("default block size missing")
+			}
+			if conf.Get(ParamChecksumType) == "" {
+				t.Fatalf("default checksum type missing")
+			}
+		}},
+	}
+}

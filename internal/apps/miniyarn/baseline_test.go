@@ -1,0 +1,29 @@
+package miniyarn
+
+import (
+	"strings"
+	"testing"
+
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/harness"
+)
+
+// TestBaselineSuite runs every registered unit test once under the default
+// homogeneous configuration.
+func TestBaselineSuite(t *testing.T) {
+	t.Parallel()
+	app := App()
+	for i := range app.Tests {
+		ut := &app.Tests[i]
+		t.Run(ut.Name, func(t *testing.T) {
+			t.Parallel()
+			out := harness.RunOnce(app, ut, agent.Options{}, 11)
+			if strings.HasPrefix(ut.Name, "TestFlaky") {
+				return
+			}
+			if out.Failed {
+				t.Fatalf("baseline failure: %s", out.Msg)
+			}
+		})
+	}
+}

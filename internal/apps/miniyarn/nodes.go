@@ -1,0 +1,373 @@
+package miniyarn
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"zebraconf/internal/apps/common"
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/rpcsim"
+)
+
+// rmMonitorTicks is the ResourceManager liveness monitor cadence.
+const rmMonitorTicks = 10
+
+// RegisterNMReq announces a NodeManager and its (naturally per-node)
+// resources.
+type RegisterNMReq struct {
+	NMID     string
+	MemoryMB int64
+	Vcores   int64
+}
+
+// NMHeartbeatReq keeps a NodeManager alive.
+type NMHeartbeatReq struct {
+	NMID string
+}
+
+// AllocateReq asks the scheduler for one container.
+type AllocateReq struct {
+	AppID    string
+	MemoryMB int64
+	Vcores   int64
+}
+
+// AllocateResp names the NodeManager hosting the granted container.
+type AllocateResp struct {
+	NMID        string
+	ContainerID int64
+}
+
+// TokenReq requests a delegation token.
+type TokenReq struct {
+	Renewer string
+}
+
+// AppEvent is a timeline entry.
+type AppEvent struct {
+	AppID string
+	Event string
+}
+
+// AppHistoryQuery fetches an application's timeline.
+type AppHistoryQuery struct {
+	AppID string
+}
+
+// AppHistoryResp lists recorded events.
+type AppHistoryResp struct {
+	Events []string
+}
+
+// nmState is the ResourceManager's view of one NodeManager.
+type nmState struct {
+	id       string
+	memoryMB int64
+	vcores   int64
+	usedMB   int64
+	usedVC   int64
+	lastHB   int64
+	dead     bool
+}
+
+// ResourceManager schedules containers and mints delegation tokens.
+type ResourceManager struct {
+	env  *harness.Env
+	conf *confkit.Conf
+	srv  *rpcsim.Server
+
+	scheduler string // private state for the §7.1 trap test
+
+	mu        sync.Mutex
+	nms       map[string]*nmState
+	nextCtr   int64
+	nextToken int
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// StartResourceManager boots the RM at its configured address.
+func StartResourceManager(env *harness.Env, conf *confkit.Conf) (*ResourceManager, error) {
+	env.RT.StartInit(TypeResourceManager)
+	defer env.RT.StopInit()
+
+	rm := &ResourceManager{
+		env:  env,
+		conf: conf.RefToClone(),
+		nms:  make(map[string]*nmState),
+		stop: make(chan struct{}),
+	}
+	rm.scheduler = rm.conf.Get(ParamSchedulerClass)
+	_ = rm.conf.GetInt(ParamMinAllocMB)
+	_ = rm.conf.GetInt(ParamAMMaxAttempts)
+	_ = rm.conf.GetBool(ParamFairPreemption)
+
+	srv, err := common.ServeIPC(env.Fabric, rm.conf.Get(ParamRMAddress), rm.conf, env.Scale,
+		common.SecurityFromConf(rm.conf), rm.handle)
+	if err != nil {
+		return nil, fmt.Errorf("miniyarn: start resourcemanager: %w", err)
+	}
+	rm.srv = srv
+	rm.wg.Add(1)
+	env.RT.Go(rm.monitor)
+	return rm, nil
+}
+
+// SchedulerClass exposes RM-private state for the §7.1 trap test only.
+func (rm *ResourceManager) SchedulerClass() string { return rm.scheduler }
+
+// Stop shuts the RM down.
+func (rm *ResourceManager) Stop() {
+	select {
+	case <-rm.stop:
+		return
+	default:
+	}
+	close(rm.stop)
+	rm.srv.Close()
+	rm.wg.Wait()
+}
+
+// monitor expires NodeManagers that miss heartbeats. The threshold is a
+// generous 20x the RM's own heartbeat-interval setting, so any candidate
+// skew stays harmless — which is why the heartbeat parameter is
+// heterogeneous-SAFE here, unlike HDFS's tighter formula.
+func (rm *ResourceManager) monitor() {
+	defer rm.wg.Done()
+	for {
+		select {
+		case <-rm.stop:
+			return
+		case <-rm.env.Scale.After(rmMonitorTicks):
+		}
+		threshold := 20 * rm.conf.GetTicks(ParamNMHeartbeat)
+		now := rm.env.Scale.Now()
+		rm.mu.Lock()
+		for _, nm := range rm.nms {
+			nm.dead = now-nm.lastHB > threshold
+		}
+		rm.mu.Unlock()
+	}
+}
+
+func (rm *ResourceManager) handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "registerNM":
+		var req RegisterNMReq
+		if err := rpcsim.Unmarshal(method, payload, &req); err != nil {
+			return nil, err
+		}
+		rm.mu.Lock()
+		rm.nms[req.NMID] = &nmState{
+			id: req.NMID, memoryMB: req.MemoryMB, vcores: req.Vcores,
+			lastHB: rm.env.Scale.Now(),
+		}
+		rm.mu.Unlock()
+		return json.Marshal(struct{}{})
+	case "heartbeatNM":
+		var req NMHeartbeatReq
+		if err := rpcsim.Unmarshal(method, payload, &req); err != nil {
+			return nil, err
+		}
+		rm.mu.Lock()
+		if nm, ok := rm.nms[req.NMID]; ok {
+			nm.lastHB = rm.env.Scale.Now()
+		}
+		rm.mu.Unlock()
+		return json.Marshal(struct{}{})
+	case "allocate":
+		var req AllocateReq
+		if err := rpcsim.Unmarshal(method, payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := rm.allocate(&req)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	case "getToken":
+		var req TokenReq
+		if err := rpcsim.Unmarshal(method, payload, &req); err != nil {
+			return nil, err
+		}
+		rm.mu.Lock()
+		rm.nextToken++
+		id := rm.nextToken
+		rm.mu.Unlock()
+		token := common.IssueToken(rm.env.Scale, id, rm.conf.GetTicks(ParamTokenRenewIntvl))
+		return json.Marshal(token)
+	case "drainNode":
+		// Draining waits for containers to finish: a deliberately slow
+		// admin RPC (the saveNamespace analog) that exercises the IPC
+		// timeout/keepalive machinery.
+		rm.env.Scale.Sleep(600)
+		return json.Marshal(struct{}{})
+	case "liveNMs":
+		rm.mu.Lock()
+		live := 0
+		for _, nm := range rm.nms {
+			if !nm.dead {
+				live++
+			}
+		}
+		rm.mu.Unlock()
+		return json.Marshal(live)
+	default:
+		return nil, fmt.Errorf("miniyarn: resourcemanager: unknown method %q", method)
+	}
+}
+
+// allocate enforces the RM's OWN maximum-allocation limits — a request a
+// client considers valid under a larger configured maximum is rejected
+// (Table 3: yarn.scheduler.maximum-allocation-mb / -vcores).
+func (rm *ResourceManager) allocate(req *AllocateReq) (AllocateResp, error) {
+	maxMB := rm.conf.GetInt(ParamMaxAllocMB)
+	maxVC := rm.conf.GetInt(ParamMaxAllocVcores)
+	if req.MemoryMB > maxMB {
+		return AllocateResp{}, fmt.Errorf(
+			"miniyarn: ResourceManager disallows allocation of %d MB: exceeds %s=%d",
+			req.MemoryMB, ParamMaxAllocMB, maxMB)
+	}
+	if req.Vcores > maxVC {
+		return AllocateResp{}, fmt.Errorf(
+			"miniyarn: ResourceManager disallows allocation of %d vcores: exceeds %s=%d",
+			req.Vcores, ParamMaxAllocVcores, maxVC)
+	}
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	for _, nm := range rm.nms {
+		if nm.dead || nm.usedMB+req.MemoryMB > nm.memoryMB || nm.usedVC+req.Vcores > nm.vcores {
+			continue
+		}
+		nm.usedMB += req.MemoryMB
+		nm.usedVC += req.Vcores
+		rm.nextCtr++
+		return AllocateResp{NMID: nm.id, ContainerID: rm.nextCtr}, nil
+	}
+	return AllocateResp{}, fmt.Errorf("miniyarn: no NodeManager can host %d MB / %d vcores", req.MemoryMB, req.Vcores)
+}
+
+// NodeManager advertises per-node resources and heartbeats to the RM.
+type NodeManager struct {
+	env  *harness.Env
+	conf *confkit.Conf
+	id   string
+	rm   *rpcsim.Conn
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartNodeManager boots a NodeManager and registers it.
+func StartNodeManager(env *harness.Env, conf *confkit.Conf, id string) (*NodeManager, error) {
+	env.RT.StartInit(TypeNodeManager)
+	defer env.RT.StopInit()
+
+	nm := &NodeManager{env: env, conf: conf.RefToClone(), id: id, stop: make(chan struct{})}
+	_ = nm.conf.Get(ParamNMLocalDirs)
+	_ = nm.conf.Get(ParamNMLogDirs)
+	_ = nm.conf.GetBool(ParamVmemCheck)
+	_ = nm.conf.GetBool(ParamLogAggregation)
+	_ = nm.conf.GetTicks(ParamDeleteDebugDelay)
+
+	conn, err := common.DialIPC(env.Fabric, nm.conf.Get(ParamRMAddress), nm.conf, env.Scale,
+		common.SecurityFromConf(nm.conf))
+	if err != nil {
+		return nil, fmt.Errorf("miniyarn: nodemanager %s cannot reach resourcemanager: %w", id, err)
+	}
+	nm.rm = conn
+	if err := conn.CallJSON("registerNM", RegisterNMReq{
+		NMID:     id,
+		MemoryMB: nm.conf.GetInt(ParamNMMemoryMB),
+		Vcores:   nm.conf.GetInt(ParamNMVcores),
+	}, nil); err != nil {
+		return nil, fmt.Errorf("miniyarn: nodemanager %s failed to register: %w", id, err)
+	}
+
+	nm.wg.Add(1)
+	env.RT.Go(nm.heartbeatLoop)
+	return nm, nil
+}
+
+// Stop halts the heartbeat loop.
+func (nm *NodeManager) Stop() {
+	nm.stopOnce.Do(func() { close(nm.stop) })
+	nm.wg.Wait()
+}
+
+func (nm *NodeManager) heartbeatLoop() {
+	defer nm.wg.Done()
+	for {
+		interval := nm.conf.GetTicks(ParamNMHeartbeat)
+		if interval < 1 {
+			interval = 1
+		}
+		select {
+		case <-nm.stop:
+			return
+		case <-nm.env.Scale.After(interval):
+		}
+		_ = nm.rm.CallJSON("heartbeatNM", NMHeartbeatReq{NMID: nm.id}, nil)
+	}
+}
+
+// AppHistoryServer is the timeline service: a web endpoint whose scheme
+// follows ITS yarn.http.policy, serving history only when ITS
+// yarn.timeline-service.enabled says so.
+type AppHistoryServer struct {
+	env  *harness.Env
+	conf *confkit.Conf
+	srv  *rpcsim.Server
+
+	mu     sync.Mutex
+	events map[string][]string
+}
+
+// StartAppHistoryServer boots the timeline service.
+func StartAppHistoryServer(env *harness.Env, conf *confkit.Conf) (*AppHistoryServer, error) {
+	env.RT.StartInit(TypeAppHistory)
+	defer env.RT.StopInit()
+
+	ahs := &AppHistoryServer{env: env, conf: conf.RefToClone(), events: make(map[string][]string)}
+	srv, err := common.ServeWeb(env.Fabric, ParamHTTPPolicy, ahs.conf.Get(ParamTimelineHost),
+		ahs.conf, env.Scale, ahs.handle)
+	if err != nil {
+		return nil, fmt.Errorf("miniyarn: start timeline server: %w", err)
+	}
+	ahs.srv = srv
+	return ahs, nil
+}
+
+// Stop shuts the timeline service down.
+func (ahs *AppHistoryServer) Stop() { ahs.srv.Close() }
+
+func (ahs *AppHistoryServer) handle(method string, payload []byte) ([]byte, error) {
+	if !ahs.conf.GetBool(ParamTimelineEnabled) {
+		return nil, fmt.Errorf("miniyarn: timeline service is disabled on this server (%s=false)", ParamTimelineEnabled)
+	}
+	switch method {
+	case "putEvent":
+		var ev AppEvent
+		if err := rpcsim.Unmarshal(method, payload, &ev); err != nil {
+			return nil, err
+		}
+		ahs.mu.Lock()
+		ahs.events[ev.AppID] = append(ahs.events[ev.AppID], ev.Event)
+		ahs.mu.Unlock()
+		return json.Marshal(struct{}{})
+	case "getHistory":
+		var q AppHistoryQuery
+		if err := rpcsim.Unmarshal(method, payload, &q); err != nil {
+			return nil, err
+		}
+		ahs.mu.Lock()
+		events := append([]string(nil), ahs.events[q.AppID]...)
+		ahs.mu.Unlock()
+		return json.Marshal(AppHistoryResp{Events: events})
+	default:
+		return nil, fmt.Errorf("miniyarn: timeline: unknown method %q", method)
+	}
+}

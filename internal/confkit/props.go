@@ -1,0 +1,59 @@
+package confkit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Configuration-file support. The paper's model (§3.1) gives every node its
+// own configuration file F and defines HomoConf(F) / HeteroConf(F1..Fn)
+// over files; this is the file side of that model, in the Java-properties
+// dialect Hadoop tooling understands (key=value lines, #-comments).
+
+// LoadProperties merges key=value lines from r into the configuration.
+// Blank lines and lines starting with '#' or '!' are ignored. Whitespace
+// around keys and values is trimmed. Returns the number of properties set.
+func (c *Conf) LoadProperties(r io.Reader) (int, error) {
+	scanner := bufio.NewScanner(r)
+	n := 0
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || text[0] == '#' || text[0] == '!' {
+			continue
+		}
+		eq := strings.IndexByte(text, '=')
+		if eq <= 0 {
+			return n, fmt.Errorf("confkit: properties line %d: no key=value in %q", line, text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		value := strings.TrimSpace(text[eq+1:])
+		c.Set(key, value)
+		n++
+	}
+	return n, scanner.Err()
+}
+
+// StoreProperties writes the explicitly set properties as sorted key=value
+// lines. Defaults are not written, matching how deployment files only list
+// overrides.
+func (c *Conf) StoreProperties(w io.Writer) error {
+	for _, key := range c.Keys() {
+		if _, err := fmt.Fprintf(w, "%s=%s\n", key, c.Get(key)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromProperties builds a configuration from a properties document.
+func (rt *Runtime) FromProperties(r io.Reader) (*Conf, error) {
+	c := rt.NewConf()
+	if _, err := c.LoadProperties(r); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

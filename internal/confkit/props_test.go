@@ -1,0 +1,81 @@
+package confkit
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadProperties(t *testing.T) {
+	t.Parallel()
+	rt := NewRuntime(testRegistry())
+	doc := `
+# a comment
+! another comment
+num = 7
+name=spaced value
+mode=b
+`
+	c, err := rt.FromProperties(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GetInt("num") != 7 || c.Get("name") != "spaced value" || c.Get("mode") != "b" {
+		t.Fatalf("loaded values: num=%d name=%q mode=%q", c.GetInt("num"), c.Get("name"), c.Get("mode"))
+	}
+}
+
+func TestLoadPropertiesMalformed(t *testing.T) {
+	t.Parallel()
+	rt := NewRuntime(testRegistry())
+	if _, err := rt.FromProperties(strings.NewReader("novalue\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := rt.FromProperties(strings.NewReader("=empty-key\n")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestStorePropertiesOnlyOverrides(t *testing.T) {
+	t.Parallel()
+	rt := NewRuntime(testRegistry())
+	c := rt.NewConf()
+	c.SetInt("num", 9)
+	var buf bytes.Buffer
+	if err := c.StoreProperties(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "num=9\n" {
+		t.Fatalf("stored = %q (defaults must not be written)", got)
+	}
+}
+
+// Property: store/load round-trips any set of sane key/value pairs.
+func TestPropertiesRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	rt := NewRuntime(testRegistry())
+	fn := func(keys []uint8, vals []int32) bool {
+		a := rt.NewConf()
+		for i, k := range keys {
+			v := "1"
+			if i < len(vals) {
+				v = strconv.Itoa(int(vals[i]))
+			}
+			a.Set("key."+strconv.Itoa(int(k)), v)
+		}
+		var buf bytes.Buffer
+		if err := a.StoreProperties(&buf); err != nil {
+			return false
+		}
+		b, err := rt.FromProperties(&buf)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package agent implements ConfAgent, the bottom layer of ZebraConf
+// (paper §6): it runs a unit test under a given — usually heterogeneous —
+// configuration by mapping every configuration object to the node (or the
+// unit test itself) that owns it, and intercepting reads so that different
+// nodes observe different values for the same parameter.
+//
+// The agent implements the paper's rule set:
+//
+//	Rule 1.1 — a configuration object created while a node's init function is
+//	           executing on the creating goroutine belongs to that node.
+//	Rule 1.2 — a configuration object created before any node has initialized
+//	           belongs to the unit test.
+//	Rule 2   — refToCloneConf: the object being cloned belongs to the unit
+//	           test; the clone belongs to the initializing node.
+//	Rule 3   — a clone (not via Rule 2) belongs to the same entity as its
+//	           original.
+//
+// Objects that no rule can place are recorded as uncertain; parameters read
+// through uncertain objects are reported so the TestGenerator can exclude
+// the (unit test, parameter) combinations that would otherwise produce false
+// positives (paper Observation 3).
+package agent
+
+import (
+	"sync"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/gid"
+)
+
+// UnitTestEntity is the pseudo node type that represents the unit test
+// itself, which ZebraConf treats as a "client" node (paper §6.1).
+const UnitTestEntity = "__unittest__"
+
+// Strategy selects how configuration reads are mapped to entities. The
+// shipped default is StrategyPaper; StrategyThreadOnly reproduces the
+// paper's failed attempt #3 for the mapping-accuracy ablation.
+type Strategy int
+
+const (
+	// StrategyPaper maps reads by the owner of the configuration object,
+	// determined by Rules 1–3.
+	StrategyPaper Strategy = iota
+	// StrategyThreadOnly maps reads by the goroutine performing them: reads
+	// on a goroutine inside (or spawned from) a node's init window belong
+	// to that node, all others to the unit test. It misattributes reads
+	// when the unit test calls node internals directly (paper §6.1).
+	StrategyThreadOnly
+)
+
+// Key addresses one assigned value: the TestGenerator gives parameter Param
+// the assigned value on the NodeIndex-th node of type NodeType. The unit
+// test is addressed as {UnitTestEntity, 0, param}.
+type Key struct {
+	NodeType  string
+	NodeIndex int
+	Param     string
+}
+
+// Options configures a new Agent. Agents are single-use: create one per
+// unit-test execution.
+type Options struct {
+	// Strategy is the read-mapping strategy; zero value is StrategyPaper.
+	Strategy Strategy
+	// Assign maps keys to overridden values. Nil means a pre-run: nothing
+	// is overridden, only bookkeeping is collected.
+	Assign map[Key]string
+}
+
+type ownerKind int
+
+const (
+	ownerUncertain ownerKind = iota
+	ownerUnitTest
+	ownerNode
+)
+
+type owner struct {
+	kind   ownerKind
+	nodeID uint64
+}
+
+// nodeInfo is one nodeTable entry (paper §6.3).
+type nodeInfo struct {
+	id           uint64
+	nodeType     string
+	index        int // i-th started node of nodeType
+	parentConfID uint64
+}
+
+// Agent is a single-use ConfAgent instance. It implements confkit.Hooks.
+// All methods are safe for concurrent use by the nodes of one unit test.
+type Agent struct {
+	strategy Strategy
+	assign   map[Key]string
+
+	mu sync.Mutex
+	// threadCtx maps a goroutine ID to the stack of node IDs whose init
+	// functions are executing on it; the base element may be an inherited
+	// ownership installed by Spawn.
+	threadCtx map[uint64][]uint64
+
+	nodes      map[uint64]*nodeInfo
+	nodeSeq    uint64
+	typeCounts map[string]int
+
+	confOwner map[uint64]owner
+	confObjs  map[uint64]*confkit.Conf
+	parentOf  map[uint64]uint64 // clone conf ID -> original conf ID
+
+	readsByConf  map[uint64]map[string]bool
+	threadReads  map[string]map[string]bool // entity -> params (thread-only strategy)
+	confUsed     bool
+	shared       bool
+	refAnomalies int
+}
+
+// New returns a fresh agent. Install it on the unit test's runtime with
+// rt.SetHooks before any node starts.
+func New(opts Options) *Agent {
+	return &Agent{
+		strategy:    opts.Strategy,
+		assign:      opts.Assign,
+		threadCtx:   make(map[uint64][]uint64),
+		nodes:       make(map[uint64]*nodeInfo),
+		typeCounts:  make(map[string]int),
+		confOwner:   make(map[uint64]owner),
+		confObjs:    make(map[uint64]*confkit.Conf),
+		parentOf:    make(map[uint64]uint64),
+		readsByConf: make(map[uint64]map[string]bool),
+		threadReads: make(map[string]map[string]bool),
+	}
+}
+
+// StartInit implements confkit.Hooks: it registers a new node of nodeType in
+// the node table and opens an init window on the calling goroutine.
+func (a *Agent) StartInit(nodeType string) {
+	g := gid.ID()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nodeSeq++
+	n := &nodeInfo{id: a.nodeSeq, nodeType: nodeType, index: a.typeCounts[nodeType]}
+	a.typeCounts[nodeType]++
+	a.nodes[n.id] = n
+	a.threadCtx[g] = append(a.threadCtx[g], n.id)
+}
+
+// StopInit closes the innermost init window on the calling goroutine.
+func (a *Agent) StopInit() {
+	g := gid.ID()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	stack := a.threadCtx[g]
+	if len(stack) == 0 {
+		return
+	}
+	stack = stack[:len(stack)-1]
+	if len(stack) == 0 {
+		delete(a.threadCtx, g)
+	} else {
+		a.threadCtx[g] = stack
+	}
+}
+
+// Spawn starts fn on a new goroutine that inherits the spawner's current
+// node ownership for its whole lifetime. This extends the paper's init-window
+// rule to worker goroutines started during initialization (heartbeat loops,
+// RPC handlers), which otherwise would create unmappable objects.
+func (a *Agent) Spawn(fn func()) {
+	g := gid.ID()
+	a.mu.Lock()
+	var inherit uint64
+	if stack := a.threadCtx[g]; len(stack) > 0 {
+		inherit = stack[len(stack)-1]
+	}
+	a.mu.Unlock()
+	go func() {
+		if inherit != 0 {
+			cg := gid.ID()
+			a.mu.Lock()
+			a.threadCtx[cg] = append(a.threadCtx[cg], inherit)
+			a.mu.Unlock()
+			defer func() {
+				a.mu.Lock()
+				delete(a.threadCtx, cg)
+				a.mu.Unlock()
+			}()
+		}
+		fn()
+	}()
+}
+
+// currentNodeLocked returns the node whose init window (or inherited
+// ownership) covers goroutine g, or nil.
+func (a *Agent) currentNodeLocked(g uint64) *nodeInfo {
+	stack := a.threadCtx[g]
+	if len(stack) == 0 {
+		return nil
+	}
+	return a.nodes[stack[len(stack)-1]]
+}
+
+// NewConf implements Rules 1.1 and 1.2 for the blank constructor.
+func (a *Agent) NewConf(c *confkit.Conf) {
+	g := gid.ID()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.confObjs[c.ID()] = c
+	if n := a.currentNodeLocked(g); n != nil {
+		a.confOwner[c.ID()] = owner{kind: ownerNode, nodeID: n.id} // Rule 1.1
+		return
+	}
+	if len(a.nodes) == 0 {
+		a.confOwner[c.ID()] = owner{kind: ownerUnitTest} // Rule 1.2
+		return
+	}
+	a.confOwner[c.ID()] = owner{kind: ownerUncertain}
+}
+
+// CloneConf implements Rule 3 for the clone constructor: the clone joins the
+// original's group; if neither is mapped, both become uncertain.
+func (a *Agent) CloneConf(orig, clone *confkit.Conf) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.confObjs[clone.ID()] = clone
+	a.parentOf[clone.ID()] = orig.ID()
+	if o, ok := a.confOwner[orig.ID()]; ok && o.kind != ownerUncertain {
+		a.confOwner[clone.ID()] = o
+		return
+	}
+	if o, ok := a.confOwner[clone.ID()]; ok && o.kind != ownerUncertain {
+		a.confOwner[orig.ID()] = o
+		return
+	}
+	a.confOwner[orig.ID()] = owner{kind: ownerUncertain}
+	a.confOwner[clone.ID()] = owner{kind: ownerUncertain}
+}
+
+// RefToClone implements Rule 2: called from a node's init function in place
+// of storing a shared configuration reference, it returns a clone owned by
+// the initializing node, marks the original as the unit test's, and records
+// the parent link used for write-back by InterceptSet.
+func (a *Agent) RefToClone(orig *confkit.Conf) *confkit.Conf {
+	g := gid.ID()
+	clone := orig.CloneForAgent()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.confObjs[orig.ID()] = orig
+	a.confObjs[clone.ID()] = clone
+	n := a.currentNodeLocked(g)
+	if n == nil {
+		// Misuse: refToCloneConf outside an init window. Keep the original
+		// reference and count the anomaly; the object mapping is unchanged.
+		a.refAnomalies++
+		return orig
+	}
+	a.confOwner[clone.ID()] = owner{kind: ownerNode, nodeID: n.id}
+	n.parentConfID = orig.ID()
+	a.parentOf[clone.ID()] = orig.ID()
+	// Rule 2: the shared original belongs to the unit test...
+	if prev, ok := a.confOwner[orig.ID()]; !ok || prev.kind == ownerUncertain {
+		a.confOwner[orig.ID()] = owner{kind: ownerUnitTest}
+	}
+	if a.confOwner[orig.ID()].kind == ownerUnitTest {
+		a.shared = true // a unit-test object was handed to a node: sharing observed
+	}
+	// ...and so do its uncertain ancestors (Rule 3 walk).
+	for id := orig.ID(); ; {
+		parent, ok := a.parentOf[id]
+		if !ok {
+			break
+		}
+		if o, ok := a.confOwner[parent]; !ok || o.kind == ownerUncertain {
+			a.confOwner[parent] = owner{kind: ownerUnitTest}
+		}
+		id = parent
+	}
+	return clone
+}
+
+// InterceptGet records the read for the pre-run and, when the TestGenerator
+// assigned a value to <owner entity, parameter>, overrides the result.
+func (a *Agent) InterceptGet(c *confkit.Conf, name, stored string, found bool) (string, bool) {
+	g := gid.ID()
+	a.mu.Lock()
+	a.confUsed = true
+	reads := a.readsByConf[c.ID()]
+	if reads == nil {
+		reads = make(map[string]bool)
+		a.readsByConf[c.ID()] = reads
+	}
+	reads[name] = true
+
+	var key Key
+	haveKey := false
+	switch a.strategy {
+	case StrategyThreadOnly:
+		// Attempt #3: attribute the read to the goroutine doing it.
+		entity := UnitTestEntity
+		index := 0
+		if n := a.currentNodeLocked(g); n != nil {
+			entity, index = n.nodeType, n.index
+		}
+		er := a.threadReads[entity]
+		if er == nil {
+			er = make(map[string]bool)
+			a.threadReads[entity] = er
+		}
+		er[name] = true
+		key = Key{NodeType: entity, NodeIndex: index, Param: name}
+		haveKey = true
+	default:
+		switch o := a.confOwner[c.ID()]; o.kind {
+		case ownerNode:
+			if n := a.nodes[o.nodeID]; n != nil {
+				key = Key{NodeType: n.nodeType, NodeIndex: n.index, Param: name}
+				haveKey = true
+			}
+		case ownerUnitTest:
+			key = Key{NodeType: UnitTestEntity, NodeIndex: 0, Param: name}
+			haveKey = true
+		}
+	}
+	assign := a.assign
+	a.mu.Unlock()
+
+	if haveKey && assign != nil {
+		if v, ok := assign[key]; ok {
+			return v, true
+		}
+	}
+	return stored, found
+}
+
+// InterceptSet propagates a node's write back to the parent object the node
+// was initialized from (paper §6.3): unit tests that pass an empty
+// configuration to a node and read values the node filled in would otherwise
+// observe the stale original, because RefToClone replaced the reference.
+func (a *Agent) InterceptSet(c *confkit.Conf, name, value string) {
+	a.mu.Lock()
+	a.confUsed = true
+	var parent *confkit.Conf
+	if o, ok := a.confOwner[c.ID()]; ok && o.kind == ownerNode {
+		if n := a.nodes[o.nodeID]; n != nil && n.parentConfID != 0 {
+			parent = a.confObjs[n.parentConfID]
+		}
+	}
+	a.mu.Unlock()
+	if parent != nil && parent.ID() != c.ID() {
+		parent.SetRaw(name, value)
+	}
+}

@@ -1,0 +1,267 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+
+	"zebraconf/internal/confkit"
+)
+
+func newRuntime() *confkit.Runtime {
+	r := confkit.NewRegistry()
+	r.Register(
+		confkit.Param{Name: "p", Kind: confkit.Int, Default: "1"},
+		confkit.Param{Name: "q", Kind: confkit.String, Default: "dflt"},
+	)
+	return confkit.NewRuntime(r)
+}
+
+// server mimics the paper's Fig. 2b Server class: its constructor opens an
+// init window, replaces the shared reference with a clone, and creates a
+// subcomponent with its own configuration object (Fig. 2c).
+type server struct {
+	conf    *confkit.Conf
+	subConf *confkit.Conf
+}
+
+func newServer(rt *confkit.Runtime, shared *confkit.Conf) *server {
+	rt.StartInit("Server")
+	defer rt.StopInit()
+	s := &server{conf: shared.RefToClone()}
+	s.subConf = rt.NewConf() // the Component's own configuration
+	return s
+}
+
+// TestPaperWalkthrough executes the scenario of paper §6.3 Steps 1–7 and
+// checks every ownership decision.
+func TestPaperWalkthrough(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{Assign: map[Key]string{
+		{NodeType: "Server", NodeIndex: 0, Param: "p"}:       "100",
+		{NodeType: "Server", NodeIndex: 1, Param: "p"}:       "200",
+		{NodeType: UnitTestEntity, NodeIndex: 0, Param: "p"}: "7",
+	}})
+	rt.SetHooks(ag)
+
+	// Step 1: the unit test creates a blank configuration (Rule 1.2).
+	conf := rt.NewConf()
+	// Steps 2–5: server1; Step 6: server2 — sharing conf (Rule 2, 1.1).
+	s1 := newServer(rt, conf)
+	s2 := newServer(rt, conf)
+
+	// Step 7: reads through each owner observe that owner's value.
+	if got := s1.conf.GetInt("p"); got != 100 {
+		t.Errorf("server1 reads p=%d, want 100", got)
+	}
+	if got := s2.conf.GetInt("p"); got != 200 {
+		t.Errorf("server2 reads p=%d, want 200", got)
+	}
+	if got := s1.subConf.GetInt("p"); got != 100 {
+		t.Errorf("server1's component reads p=%d, want 100 (Rule 1.1)", got)
+	}
+	if got := conf.GetInt("p"); got != 7 {
+		t.Errorf("unit test reads p=%d, want 7 (Rule 1.2)", got)
+	}
+	// Even when the unit test calls server internals on the main
+	// goroutine, the configuration OBJECT determines the value — the
+	// paper's key design point versus thread-based attribution.
+	if got := s1.conf.GetInt("p"); got != 100 {
+		t.Errorf("server1 internal call from the test goroutine reads %d, want 100", got)
+	}
+
+	rep := ag.Report()
+	if rep.NodesStarted["Server"] != 2 {
+		t.Fatalf("nodes started: %v", rep.NodesStarted)
+	}
+	if !rep.SharedConf {
+		t.Fatal("sharing not detected although the test shared its object")
+	}
+	if rep.UncertainConfs != 0 {
+		t.Fatalf("unexpected uncertain objects: %d", rep.UncertainConfs)
+	}
+	if !rep.Usage["Server"]["p"] || !rep.Usage[UnitTestEntity]["p"] {
+		t.Fatalf("usage tracking incomplete: %v", rep.Usage)
+	}
+}
+
+func TestRule3CloneJoinsOwnersGroup(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{Assign: map[Key]string{
+		{NodeType: "Server", NodeIndex: 0, Param: "p"}: "55",
+	}})
+	rt.SetHooks(ag)
+
+	shared := rt.NewConf()
+	s := newServer(rt, shared)
+	clone := s.conf.Clone() // Rule 3: same entity as the original
+	if got := clone.GetInt("p"); got != 55 {
+		t.Fatalf("clone of a node conf reads p=%d, want the node's 55", got)
+	}
+	testClone := shared.Clone() // Rule 3: belongs to the unit test
+	ag2 := ag.Report()
+	if ag2.UncertainConfs != 0 {
+		t.Fatalf("clones left uncertain objects: %d", ag2.UncertainConfs)
+	}
+	_ = testClone
+}
+
+func TestUncertainConfDetected(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{})
+	rt.SetHooks(ag)
+
+	_ = rt.NewConf() // unit test conf (no node yet)
+	newServer(rt, rt.NewConf())
+
+	// A conf created on a plain goroutine AFTER a node initialized:
+	// no rule places it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var stray *confkit.Conf
+	go func() {
+		defer wg.Done()
+		stray = rt.NewConf()
+		_ = stray.Get("q")
+	}()
+	wg.Wait()
+
+	rep := ag.Report()
+	if rep.UncertainConfs != 1 {
+		t.Fatalf("UncertainConfs = %d, want 1", rep.UncertainConfs)
+	}
+	if len(rep.UncertainParams) != 1 || rep.UncertainParams[0] != "q" {
+		t.Fatalf("UncertainParams = %v, want [q]", rep.UncertainParams)
+	}
+}
+
+func TestSpawnInheritsNodeOwnership(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{Assign: map[Key]string{
+		{NodeType: "Worker", NodeIndex: 0, Param: "p"}: "77",
+	}})
+	rt.SetHooks(ag)
+
+	rt.StartInit("Worker")
+	got := make(chan int64, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	rt.Go(func() { // spawned during init: inherits the node
+		defer wg.Done()
+		workerConf := rt.NewConf()
+		got <- workerConf.GetInt("p")
+	})
+	wg.Wait()
+	rt.StopInit()
+	if v := <-got; v != 77 {
+		t.Fatalf("conf created on a spawned worker goroutine reads p=%d, want 77", v)
+	}
+}
+
+func TestInterceptSetWritesBackToParent(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{})
+	rt.SetHooks(ag)
+
+	shared := rt.NewConf()
+	s := newServer(rt, shared)
+	// The node fills a value the unit test later reads from ITS object —
+	// the pattern interceptSet's write-back exists for (paper §6.3).
+	s.conf.Set("q", "filled-by-node")
+	if got := shared.Get("q"); got != "filled-by-node" {
+		t.Fatalf("parent object reads q=%q, want the node's write", got)
+	}
+}
+
+func TestNodeIndexesAssignedInStartOrder(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{Assign: map[Key]string{
+		{NodeType: "Server", NodeIndex: 0, Param: "p"}: "10",
+		{NodeType: "Server", NodeIndex: 1, Param: "p"}: "20",
+		{NodeType: "Server", NodeIndex: 2, Param: "p"}: "30",
+	}})
+	rt.SetHooks(ag)
+	shared := rt.NewConf()
+	servers := []*server{newServer(rt, shared), newServer(rt, shared), newServer(rt, shared)}
+	for i, want := range []int64{10, 20, 30} {
+		if got := servers[i].conf.GetInt("p"); got != want {
+			t.Errorf("server %d reads %d, want %d", i, got, want)
+		}
+	}
+	if counts := ag.NodeCounts(); counts["Server"] != 3 {
+		t.Fatalf("NodeCounts = %v", counts)
+	}
+}
+
+func TestRefToCloneOutsideInitWindow(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{})
+	rt.SetHooks(ag)
+	shared := rt.NewConf()
+	// Misuse: RefToClone without StartInit. The original reference is
+	// returned and the anomaly counted.
+	if got := shared.RefToClone(); got != shared {
+		t.Fatal("RefToClone outside an init window returned a clone")
+	}
+	if rep := ag.Report(); rep.RefAnomalies != 1 {
+		t.Fatalf("RefAnomalies = %d, want 1", rep.RefAnomalies)
+	}
+}
+
+// TestThreadOnlyStrategyMisattributes demonstrates the paper's failed
+// attempt #3: when the unit test calls a node's internals on the test
+// goroutine, thread-based attribution serves the TEST's value where the
+// node's value is correct.
+func TestThreadOnlyStrategyMisattributes(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	ag := New(Options{
+		Strategy: StrategyThreadOnly,
+		Assign: map[Key]string{
+			{NodeType: "Server", NodeIndex: 0, Param: "p"}:       "100",
+			{NodeType: "Server", NodeIndex: 1, Param: "p"}:       "100",
+			{NodeType: UnitTestEntity, NodeIndex: 0, Param: "p"}: "7",
+		},
+	})
+	rt.SetHooks(ag)
+	shared := rt.NewConf()
+	s := newServer(rt, shared)
+
+	// The unit test invokes node code directly (Fig. 2d line 7): with
+	// thread attribution the read resolves to the unit test's value.
+	if got := s.conf.GetInt("p"); got != 7 {
+		t.Fatalf("thread-only strategy read %d; the documented misattribution should yield 7", got)
+	}
+	// During init (on a node-owned goroutine), attribution is correct.
+	// (This StartInit registers a second Server node, index 1.)
+	rt.StartInit("Server")
+	if got := s.conf.GetInt("p"); got != 100 {
+		t.Errorf("read inside an init window = %d, want 100", got)
+	}
+	rt.StopInit()
+}
+
+func TestHomoAssignmentUniformEverywhere(t *testing.T) {
+	t.Parallel()
+	rt := newRuntime()
+	assign := map[Key]string{
+		{NodeType: "Server", NodeIndex: 0, Param: "p"}:       "9",
+		{NodeType: "Server", NodeIndex: 1, Param: "p"}:       "9",
+		{NodeType: UnitTestEntity, NodeIndex: 0, Param: "p"}: "9",
+	}
+	ag := New(Options{Assign: assign})
+	rt.SetHooks(ag)
+	shared := rt.NewConf()
+	s1, s2 := newServer(rt, shared), newServer(rt, shared)
+	for _, c := range []*confkit.Conf{shared, s1.conf, s2.conf, s1.subConf, s2.subConf} {
+		if got := c.GetInt("p"); got != 9 {
+			t.Fatalf("homogeneous assignment leaked: read %d", got)
+		}
+	}
+}

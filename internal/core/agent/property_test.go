@@ -1,0 +1,79 @@
+package agent
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"zebraconf/internal/confkit"
+)
+
+// TestOwnershipClosureProperty drives the agent through randomized
+// sequences of node creations, sharing, cloning, and subcomponent
+// configuration creation, then checks the closure invariants of the
+// paper's rules:
+//
+//  1. nothing created through an annotated path ends uncertain;
+//  2. reads through a node's objects observe that node's assigned value;
+//  3. reads through the unit test's objects observe the test's value.
+func TestOwnershipClosureProperty(t *testing.T) {
+	t.Parallel()
+	fn := func(script []uint8) bool {
+		r := confkit.NewRegistry()
+		r.Register(confkit.Param{Name: "v", Kind: confkit.String, Default: "d"})
+		rt := confkit.NewRuntime(r)
+
+		assign := map[Key]string{{NodeType: UnitTestEntity, NodeIndex: 0, Param: "v"}: "T"}
+		for i := 0; i < 16; i++ {
+			assign[Key{NodeType: "N", NodeIndex: i, Param: "v"}] = "n" + strconv.Itoa(i)
+		}
+		ag := New(Options{Assign: assign})
+		rt.SetHooks(ag)
+
+		shared := rt.NewConf() // the unit test's object
+		type owned struct {
+			conf *confkit.Conf
+			want string
+		}
+		objs := []owned{{shared, "T"}}
+		nodes := 0
+
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // start a node sharing the test's object (Rule 2)
+				if nodes >= 16 {
+					continue
+				}
+				rt.StartInit("N")
+				nodeConf := shared.RefToClone()
+				sub := rt.NewConf() // subcomponent (Rule 1.1)
+				rt.StopInit()
+				want := "n" + strconv.Itoa(nodes)
+				objs = append(objs, owned{nodeConf, want}, owned{sub, want})
+				nodes++
+			case 1: // clone an arbitrary existing object (Rule 3)
+				src := objs[int(op/4)%len(objs)]
+				objs = append(objs, owned{src.conf.Clone(), src.want})
+			case 2: // the unit test creates another object before any node
+				if nodes == 0 {
+					objs = append(objs, owned{rt.NewConf(), "T"})
+				}
+			case 3: // read everything (mirrors test-thread internal calls)
+				for _, o := range objs {
+					_ = o.conf.Get("v")
+				}
+			}
+		}
+
+		for _, o := range objs {
+			if got := o.conf.Get("v"); got != o.want {
+				return false
+			}
+		}
+		rep := ag.Report()
+		return rep.UncertainConfs == 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package agent
+
+import "sort"
+
+// Report is what a pre-run of a unit test produces (paper §4 "Pre-run unit
+// tests" and §6 Observation 3): which node types started, which parameters
+// each entity read, and which parameters were read through configuration
+// objects the rules could not place.
+type Report struct {
+	// NodesStarted counts started nodes per node type. Empty means the unit
+	// test started no nodes and cannot test heterogeneous configurations.
+	NodesStarted map[string]int
+	// Usage maps an entity (a node type, or UnitTestEntity) to the set of
+	// parameters read through configuration objects owned by that entity.
+	Usage map[string]map[string]bool
+	// UncertainParams are parameters read through objects whose final
+	// ownership is uncertain, sorted. Test instances combining this unit
+	// test with these parameters must be excluded (Observation 3).
+	UncertainParams []string
+	// UncertainConfs and TotalConfs count configuration objects by final
+	// mapping state.
+	UncertainConfs int
+	TotalConfs     int
+	// SharedConf reports whether a unit-test-owned object was handed to a
+	// node's init function (the sharing statistic of §6.2).
+	SharedConf bool
+	// UsedConf reports whether the test touched any configuration at all.
+	UsedConf bool
+	// RefAnomalies counts RefToClone calls outside an init window.
+	RefAnomalies int
+}
+
+// Report computes the pre-run report from the agent's final state. Call it
+// after the unit test has finished and all nodes have stopped.
+func (a *Agent) Report() Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	r := Report{
+		NodesStarted: make(map[string]int, len(a.typeCounts)),
+		Usage:        make(map[string]map[string]bool),
+		SharedConf:   a.shared,
+		UsedConf:     a.confUsed,
+		RefAnomalies: a.refAnomalies,
+		TotalConfs:   len(a.confObjs),
+	}
+	for t, n := range a.typeCounts {
+		r.NodesStarted[t] = n
+	}
+
+	addUse := func(entity, param string) {
+		set := r.Usage[entity]
+		if set == nil {
+			set = make(map[string]bool)
+			r.Usage[entity] = set
+		}
+		set[param] = true
+	}
+
+	if a.strategy == StrategyThreadOnly {
+		for entity, params := range a.threadReads {
+			for p := range params {
+				addUse(entity, p)
+			}
+		}
+	}
+
+	uncertain := make(map[string]bool)
+	for confID, params := range a.readsByConf {
+		o := a.confOwner[confID]
+		switch o.kind {
+		case ownerNode:
+			if n := a.nodes[o.nodeID]; n != nil && a.strategy == StrategyPaper {
+				for p := range params {
+					addUse(n.nodeType, p)
+				}
+			}
+		case ownerUnitTest:
+			if a.strategy == StrategyPaper {
+				for p := range params {
+					addUse(UnitTestEntity, p)
+				}
+			}
+		default:
+			for p := range params {
+				uncertain[p] = true
+			}
+		}
+	}
+	for id := range a.confObjs {
+		if o := a.confOwner[id]; o.kind == ownerUncertain {
+			r.UncertainConfs++
+		}
+	}
+	r.UncertainParams = sortedKeys(uncertain)
+	return r
+}
+
+// NodeCounts returns the number of started nodes per type, usable while the
+// test is still running.
+func (a *Agent) NodeCounts() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.typeCounts))
+	for t, n := range a.typeCounts {
+		out[t] = n
+	}
+	return out
+}
+
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,357 @@
+// Package campaign orchestrates a full ZebraConf run over one application
+// (paper Fig. 1): pre-run every unit test, generate instances, execute them
+// through pooled testing and the TestRunner, aggregate per-parameter
+// verdicts, and score them against the registries' ground-truth labels the
+// way the paper's authors scored reports by manual analysis.
+package campaign
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/testgen"
+)
+
+// Options tunes a campaign.
+type Options struct {
+	// Parallelism bounds concurrent unit tests (default GOMAXPROCS),
+	// the analog of the paper's 20 containers per machine.
+	Parallelism int
+	// MaxPool bounds parameters per pooled run; 0 means unbounded (the
+	// paper's setting: pool size up to the number of parameters).
+	MaxPool int
+	// DisablePooling runs every instance individually (ablation E10).
+	DisablePooling bool
+	// DisableRoundRobin drops the within-type assignment strategy
+	// (ablation E12).
+	DisableRoundRobin bool
+	// DisableGate always runs confirmation rounds (ablation E11).
+	DisableGate bool
+	// Strategy selects the agent mapping strategy (ablation: attempt #3).
+	Strategy agent.Strategy
+	// QuarantineThreshold is the number of distinct failing unit tests
+	// after which a parameter is marked unsafe and excluded from further
+	// testing (§4's frequent-failer rule); 0 means 3.
+	QuarantineThreshold int
+	// Params restricts the campaign to a parameter subset (empty = all).
+	Params []string
+	// Tests restricts the campaign to a test subset (empty = all).
+	Tests []string
+	// Significance and MaxRounds pass through to the TestRunner.
+	Significance float64
+	MaxRounds    int
+}
+
+// ParamReport is the campaign's verdict for one reported parameter.
+type ParamReport struct {
+	Param string
+	// Truth is the registry's ground-truth label; Correct is true when the
+	// report matches it (reported parameters labelled unsafe).
+	Truth   confkit.Safety
+	Why     string
+	Example string
+	// Tests lists unit tests whose failure confirmed the parameter.
+	Tests []string
+	// MinP is the smallest confirming p-value observed.
+	MinP float64
+}
+
+// Result aggregates one campaign.
+type Result struct {
+	App       string
+	NumTests  int
+	NumParams int
+
+	PreRuns []testgen.PreRun
+	Counts  testgen.ReductionCounts
+
+	// Reported lists parameters the campaign flags as heterogeneous-unsafe,
+	// sorted by name.
+	Reported []ParamReport
+
+	// Scoring against ground truth.
+	TruePositives  int
+	FalsePositives int
+	Missed         []string // Truth==Unsafe but not reported
+
+	// Hypothesis-testing statistics (§7.2).
+	FirstTrialSignals    int
+	FilteredByHypothesis int
+	HomoInvalid          int
+
+	// Mapping statistics (§6.2).
+	ConfUsingTests int
+	SharingTests   int
+	UncertainTests int
+	TotalUncertain int
+	TotalConfs     int
+
+	Elapsed time.Duration
+}
+
+// SharingRate is the §6.2 statistic: the fraction of configuration-using
+// unit tests in which a unit-test-owned object was shared with a node.
+func (r *Result) SharingRate() float64 {
+	if r.ConfUsingTests == 0 {
+		return 0
+	}
+	return float64(r.SharingTests) / float64(r.ConfUsingTests)
+}
+
+// paramStats accumulates evidence for one parameter during the run.
+type paramStats struct {
+	tests   map[string]bool
+	minP    float64
+	example string
+}
+
+// Run executes a campaign over app.
+func Run(app *harness.App, opts Options) *Result {
+	start := time.Now()
+	if opts.Parallelism <= 0 {
+		// Unit tests spend most of their time in scaled-time sleeps, so
+		// oversubscribe the CPUs — the analog of the paper's 20 containers
+		// per machine.
+		opts.Parallelism = 4 * runtime.GOMAXPROCS(0)
+		if opts.Parallelism < 16 {
+			opts.Parallelism = 16
+		}
+	}
+	if opts.QuarantineThreshold <= 0 {
+		opts.QuarantineThreshold = 3
+	}
+	schema := app.Schema()
+	gen := testgen.New(schema)
+	if len(opts.Params) > 0 {
+		gen.SetFilter(opts.Params)
+	}
+	run := runner.New(app, runner.Options{
+		Significance: opts.Significance,
+		MaxRounds:    opts.MaxRounds,
+		DisableGate:  opts.DisableGate,
+		Strategy:     opts.Strategy,
+	})
+
+	tests := selectTests(app, opts.Tests)
+	res := &Result{App: app.Name, NumTests: len(tests), NumParams: schema.Len()}
+
+	// Phase 1: pre-run (paper §4).
+	res.PreRuns = parallelMap(opts.Parallelism, tests, func(t *harness.UnitTest) testgen.PreRun {
+		return run.PreRun(t)
+	})
+	for _, pre := range res.PreRuns {
+		if pre.Report.UsedConf {
+			res.ConfUsingTests++
+			if pre.Report.SharedConf {
+				res.SharingTests++
+			}
+		}
+		if pre.Report.UncertainConfs > 0 {
+			res.UncertainTests++
+		}
+		res.TotalUncertain += pre.Report.UncertainConfs
+		res.TotalConfs += pre.Report.TotalConfs
+	}
+	res.Counts.Original = gen.OriginalCount(len(tests), app.NodeTypes)
+	res.Counts.AfterPreRun = gen.CountAfterPreRun(res.PreRuns)
+	res.Counts.AfterUncertainty = gen.CountAfterUncertainty(res.PreRuns)
+	baseline := run.Executions() // pre-run executions are not campaign instances
+
+	// Phase 2: instance execution with pooling.
+	var mu sync.Mutex
+	perParam := make(map[string]*paramStats)
+	// reachable tracks parameters that produced at least one instance: a
+	// parameter no unit test exercises cannot be found by ZebraConf by
+	// definition, so it does not count as missed (e.g. the HDFS corner-case
+	// parameters an HBase suite never reaches).
+	reachable := make(map[string]bool)
+
+	confirmUnsafe := func(inst testgen.Instance, r runner.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		ps := perParam[inst.Param]
+		if ps == nil {
+			ps = &paramStats{tests: make(map[string]bool), minP: 1}
+			perParam[inst.Param] = ps
+		}
+		ps.tests[inst.Test] = true
+		if r.PValue < ps.minP {
+			ps.minP = r.PValue
+		}
+		if ps.example == "" {
+			ps.example = r.HeteroMsg
+		}
+		if len(ps.tests) >= opts.QuarantineThreshold {
+			gen.Quarantine(inst.Param)
+		}
+	}
+	countVerdict := func(r runner.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if r.FirstTrialSignal {
+			res.FirstTrialSignals++
+		}
+		switch r.Verdict {
+		case runner.VerdictFiltered:
+			res.FilteredByHypothesis++
+		case runner.VerdictHomoInvalid:
+			res.HomoInvalid++
+		}
+	}
+
+	parallelMap(opts.Parallelism, res.PreRuns, func(pre testgen.PreRun) struct{} {
+		test, err := app.Test(pre.Test)
+		if err != nil {
+			return struct{}{}
+		}
+		rep := pre.Report
+		instances := gen.Instances(pre, testgen.InstancesOptions{DisableRoundRobin: opts.DisableRoundRobin})
+		if len(instances) == 0 {
+			return struct{}{}
+		}
+		mu.Lock()
+		for _, inst := range instances {
+			reachable[inst.Param] = true
+		}
+		mu.Unlock()
+
+		// Within this test, skip further instances of a parameter already
+		// confirmed unsafe here.
+		confirmedHere := make(map[string]bool)
+		leaf := func(inst testgen.Instance) {
+			if confirmedHere[inst.Param] || gen.Quarantined(inst.Param) {
+				return
+			}
+			asn := gen.AssignFor(inst, &rep)
+			r := run.RunAssignment(test, asn, inst.String())
+			countVerdict(r)
+			if r.Verdict == runner.VerdictUnsafe {
+				confirmedHere[inst.Param] = true
+				confirmUnsafe(inst, r)
+			}
+		}
+
+		if opts.DisablePooling {
+			for _, inst := range instances {
+				leaf(inst)
+			}
+			return struct{}{}
+		}
+
+		var runPool func(p testgen.Pool)
+		runPool = func(p testgen.Pool) {
+			p = p.FilterQuarantined(gen)
+			p = filterConfirmed(p, confirmedHere)
+			switch len(p.Members) {
+			case 0:
+				return
+			case 1:
+				leaf(p.Members[0])
+				return
+			}
+			asn := p.Assignment(gen, &rep)
+			if !run.RunPooled(test, asn, p.Test+"/pool") {
+				return // pooled heterogeneous run passed: all members cleared
+			}
+			a, b := p.Split()
+			runPool(a)
+			runPool(b)
+		}
+		for _, pool := range testgen.BuildPools(pre.Test, instances, opts.MaxPool) {
+			runPool(pool)
+		}
+		return struct{}{}
+	})
+
+	res.Counts.Executed = run.Executions() - baseline
+
+	// Phase 3: verdicts and scoring.
+	for param, ps := range perParam {
+		p := schema.Lookup(param)
+		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example}
+		if p != nil {
+			report.Truth = p.Truth
+			report.Why = p.Why
+		}
+		for t := range ps.tests {
+			report.Tests = append(report.Tests, t)
+		}
+		sort.Strings(report.Tests)
+		res.Reported = append(res.Reported, report)
+		if report.Truth == confkit.SafetyUnsafe {
+			res.TruePositives++
+		} else {
+			res.FalsePositives++
+		}
+	}
+	sort.Slice(res.Reported, func(i, j int) bool { return res.Reported[i].Param < res.Reported[j].Param })
+
+	reported := make(map[string]bool, len(perParam))
+	for param := range perParam {
+		reported[param] = true
+	}
+	for _, p := range schema.Params() {
+		if p.Truth == confkit.SafetyUnsafe && !reported[p.Name] && gen.InFilter(p.Name) && reachable[p.Name] {
+			res.Missed = append(res.Missed, p.Name)
+		}
+	}
+	sort.Strings(res.Missed)
+
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// filterConfirmed drops pool members whose parameter is already confirmed
+// unsafe within this test.
+func filterConfirmed(p testgen.Pool, confirmed map[string]bool) testgen.Pool {
+	out := testgen.Pool{Test: p.Test}
+	for _, in := range p.Members {
+		if !confirmed[in.Param] {
+			out.Members = append(out.Members, in)
+		}
+	}
+	return out
+}
+
+// selectTests resolves the test subset.
+func selectTests(app *harness.App, names []string) []*harness.UnitTest {
+	if len(names) == 0 {
+		out := make([]*harness.UnitTest, len(app.Tests))
+		for i := range app.Tests {
+			out[i] = &app.Tests[i]
+		}
+		return out
+	}
+	var out []*harness.UnitTest
+	for _, name := range names {
+		if t, err := app.Test(name); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// parallelMap runs fn over items with bounded parallelism, preserving
+// order.
+func parallelMap[I any, O any](parallelism int, items []I, fn func(I) O) []O {
+	out := make([]O, len(items))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,162 @@
+package campaign
+
+import (
+	"fmt"
+	"testing"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/harness"
+)
+
+// syntheticApp builds an app with one unsafe parameter, several safe
+// parameters, one false-positive trap, and a configurable number of unit
+// tests that all exercise the same node type.
+func syntheticApp(numTests int) *harness.App {
+	schema := func() *confkit.Registry {
+		r := confkit.NewRegistry()
+		r.Register(
+			confkit.Param{Name: "codec", Kind: confkit.Enum, Default: "plain",
+				Candidates: []string{"plain", "zip"},
+				Truth:      confkit.SafetyUnsafe, Why: "decode fails across codecs"},
+			confkit.Param{Name: "buffer", Kind: confkit.Int, Default: "64"},
+			confkit.Param{Name: "dir", Kind: confkit.String, Default: "/tmp"},
+			// A block of safe parameters: pooled testing pays off only
+			// when most of a pool is safe (the paper's §4 assumption).
+			confkit.Param{Name: "safe.a", Kind: confkit.Int, Default: "1"},
+			confkit.Param{Name: "safe.b", Kind: confkit.Int, Default: "2"},
+			confkit.Param{Name: "safe.c", Kind: confkit.Bool, Default: "true"},
+			confkit.Param{Name: "safe.d", Kind: confkit.String, Default: "x"},
+			confkit.Param{Name: "safe.e", Kind: confkit.Ticks, Default: "30"},
+			confkit.Param{Name: "safe.f", Kind: confkit.Int, Default: "100"},
+			confkit.Param{Name: "safe.g", Kind: confkit.Bool, Default: "false"},
+			confkit.Param{Name: "safe.h", Kind: confkit.Enum, Default: "m",
+				Candidates: []string{"m", "n"}},
+			confkit.Param{Name: "trap", Kind: confkit.Bool, Default: "false",
+				Truth: confkit.SafetyFalsePositive, Why: "test compares node internals to the client conf"},
+		)
+		return r
+	}
+	app := &harness.App{
+		Name:      "synthetic",
+		Schema:    schema,
+		NodeTypes: []string{"Node"},
+	}
+	for i := 0; i < numTests; i++ {
+		app.Tests = append(app.Tests, harness.UnitTest{
+			Name: fmt.Sprintf("TestExchange%d", i),
+			Run: func(t *harness.T) {
+				testConf := t.Env.RT.NewConf()
+				t.Env.RT.StartInit("Node")
+				nodeConf := testConf.RefToClone()
+				t.Env.RT.StopInit()
+				_ = nodeConf.GetInt("buffer")
+				_ = nodeConf.Get("dir")
+				for _, p := range []string{"safe.a", "safe.b", "safe.c", "safe.d",
+					"safe.e", "safe.f", "safe.g", "safe.h"} {
+					_ = nodeConf.Get(p)
+				}
+				nodeTrap := nodeConf.GetBool("trap")
+				if nodeConf.Get("codec") != testConf.Get("codec") {
+					t.Fatalf("codec mismatch between node and client")
+				}
+				if nodeTrap != testConf.GetBool("trap") {
+					t.Fatalf("trap flag mismatch (private-state comparison)")
+				}
+			},
+		})
+	}
+	// One node-less test, filtered by the pre-run.
+	app.Tests = append(app.Tests, harness.UnitTest{
+		Name: "TestPureFunction",
+		Run:  func(t *harness.T) {},
+	})
+	return app
+}
+
+func TestCampaignFindsSeededBugAndScores(t *testing.T) {
+	t.Parallel()
+	res := Run(syntheticApp(3), Options{Parallelism: 4})
+	reported := map[string]ParamReport{}
+	for _, r := range res.Reported {
+		reported[r.Param] = r
+	}
+	if _, ok := reported["codec"]; !ok {
+		t.Fatalf("seeded unsafe parameter not reported: %+v", res.Reported)
+	}
+	if _, ok := reported["trap"]; !ok {
+		t.Fatalf("false-positive trap not reported (it should be, then scored FP): %+v", res.Reported)
+	}
+	if _, ok := reported["buffer"]; ok {
+		t.Fatal("safe parameter reported")
+	}
+	if res.TruePositives != 1 || res.FalsePositives != 1 {
+		t.Fatalf("TP=%d FP=%d, want 1/1", res.TruePositives, res.FalsePositives)
+	}
+	if len(res.Missed) != 0 {
+		t.Fatalf("missed: %v", res.Missed)
+	}
+	if res.Counts.Original <= res.Counts.AfterPreRun {
+		t.Fatalf("no reduction from pre-run: %+v", res.Counts)
+	}
+	if res.Counts.Executed <= 0 {
+		t.Fatal("no executions counted")
+	}
+	if res.SharingRate() != 1 {
+		t.Fatalf("sharing rate %.2f, want 1.0 (every conf-using test shares)", res.SharingRate())
+	}
+}
+
+func TestCampaignParamFilter(t *testing.T) {
+	t.Parallel()
+	res := Run(syntheticApp(2), Options{Parallelism: 4, Params: []string{"buffer"}})
+	if len(res.Reported) != 0 {
+		t.Fatalf("filtered campaign reported %v", res.Reported)
+	}
+	if len(res.Missed) != 0 {
+		t.Fatalf("missed should be empty under a safe-only filter: %v", res.Missed)
+	}
+}
+
+func TestCampaignTestFilter(t *testing.T) {
+	t.Parallel()
+	res := Run(syntheticApp(3), Options{Parallelism: 2, Tests: []string{"TestExchange0"}})
+	if res.NumTests != 1 {
+		t.Fatalf("NumTests = %d, want 1", res.NumTests)
+	}
+	if len(res.Reported) == 0 {
+		t.Fatal("single-test campaign found nothing")
+	}
+}
+
+func TestCampaignDisablePoolingSameVerdicts(t *testing.T) {
+	t.Parallel()
+	pooled := Run(syntheticApp(2), Options{Parallelism: 4})
+	flat := Run(syntheticApp(2), Options{Parallelism: 4, DisablePooling: true})
+	names := func(rs []ParamReport) string {
+		s := ""
+		for _, r := range rs {
+			s += r.Param + ","
+		}
+		return s
+	}
+	if names(pooled.Reported) != names(flat.Reported) {
+		t.Fatalf("pooling changed verdicts: %q vs %q", names(pooled.Reported), names(flat.Reported))
+	}
+	if flat.Counts.Executed <= pooled.Counts.Executed {
+		t.Fatalf("pooling saved nothing: pooled=%d flat=%d",
+			pooled.Counts.Executed, flat.Counts.Executed)
+	}
+}
+
+func TestCampaignQuarantineCapsWork(t *testing.T) {
+	t.Parallel()
+	res := Run(syntheticApp(6), Options{Parallelism: 1, QuarantineThreshold: 2})
+	for _, r := range res.Reported {
+		if r.Param == "codec" && len(r.Tests) > 3 {
+			// With threshold 2 and sequential tests, the parameter is
+			// quarantined quickly; later tests skip it. Parallel timing
+			// can admit one extra test, not four.
+			t.Fatalf("quarantine did not cap confirmations: %v", r.Tests)
+		}
+	}
+}

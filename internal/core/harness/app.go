@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+)
+
+// DefaultTestTimeout bounds one unit-test execution in real time. Tests
+// that hang — e.g. a balancer that never finishes because the NameNode
+// keeps declining its moves — fail with a timeout, exactly like a JUnit
+// test with a @Timeout rule.
+const DefaultTestTimeout = 15 * time.Second
+
+// UnitTest is one registered whole-system (or function-level) unit test.
+type UnitTest struct {
+	// Name identifies the test within its application.
+	Name string
+	// Run is the test body.
+	Run func(t *T)
+	// Timeout overrides DefaultTestTimeout when positive.
+	Timeout time.Duration
+}
+
+// AnnotationStats is the application's Table 4 analog: how many lines were
+// added or changed to support ZebraConf.
+type AnnotationStats struct {
+	// NodeLines counts annotations in node classes (StartInit/StopInit,
+	// RefToClone call sites).
+	NodeLines int
+	// ConfLines counts annotations in the configuration class.
+	ConfLines int
+}
+
+// App is one target application: its schema, node types, and unit tests.
+type App struct {
+	// Name is the application name used in reports ("minihdfs", ...).
+	Name string
+	// Schema builds the application's parameter registry, including
+	// parameters inherited from shared libraries.
+	Schema func() *confkit.Registry
+	// NodeTypes lists the node types the application can start (Table 2).
+	NodeTypes []string
+	// Tests is the unit-test suite ZebraConf reuses.
+	Tests []UnitTest
+	// Annotations reports the instrumentation effort (Table 4).
+	Annotations AnnotationStats
+}
+
+// Test returns the named test, or an error.
+func (a *App) Test(name string) (*UnitTest, error) {
+	for i := range a.Tests {
+		if a.Tests[i].Name == name {
+			return &a.Tests[i], nil
+		}
+	}
+	return nil, fmt.Errorf("harness: app %s has no test %q", a.Name, name)
+}
+
+// TestNames returns the suite's test names in registration order.
+func (a *App) TestNames() []string {
+	out := make([]string, len(a.Tests))
+	for i := range a.Tests {
+		out[i] = a.Tests[i].Name
+	}
+	return out
+}
+
+// Outcome is the result of one unit-test execution.
+type Outcome struct {
+	// Failed reports whether the test failed (assertion, fatal, panic, or
+	// timeout).
+	Failed bool
+	// TimedOut reports whether the failure was an execution timeout.
+	TimedOut bool
+	// Msg carries the first failure message, for diagnosis.
+	Msg string
+	// Report is the agent's pre-run bookkeeping for this execution.
+	Report agent.Report
+	// Elapsed is the real execution time.
+	Elapsed time.Duration
+}
+
+// RunOnce executes one unit test in a fresh environment with a fresh agent
+// configured by opts. seed differentiates trials of nondeterministic tests.
+func RunOnce(app *App, test *UnitTest, opts agent.Options, seed int64) Outcome {
+	env := NewEnv(app.Schema(), nil, seed)
+	defer env.Close()
+
+	ag := agent.New(opts)
+	env.RT.SetHooks(ag)
+
+	t := &T{Env: env}
+	timeout := test.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTestTimeout
+	}
+
+	start := time.Now()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		test.Run(t)
+	}()
+
+	var out Outcome
+	select {
+	case rec := <-done:
+		if rec != nil {
+			if _, isFailNow := rec.(failNow); !isFailNow {
+				t.Errorf("panic: %v", rec)
+			}
+		}
+	case <-time.After(timeout):
+		t.Errorf("test timed out after %v", timeout)
+		out.TimedOut = true
+	}
+	out.Elapsed = time.Since(start)
+	out.Failed = t.Failed()
+	if logs := t.Logs(); out.Failed && len(logs) > 0 {
+		out.Msg = logs[0]
+	}
+	// Stop nodes before reading the report so no new confs appear mid-read.
+	env.Close()
+	out.Report = ag.Report()
+	return out
+}
+
+// NodeTypesSorted returns the app's node types sorted, for stable reports.
+func (a *App) NodeTypesSorted() []string {
+	out := make([]string, len(a.NodeTypes))
+	copy(out, a.NodeTypes)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+// Package harness hosts the unit-test registry and execution environment
+// ZebraConf drives (paper §3.3): applications register whole-system unit
+// tests; the TestGenerator decides which to run with which heterogeneous
+// configuration; the TestRunner executes them through this package's
+// isolated per-test environments; and the campaign scheduler runs everything
+// in parallel and aggregates the results.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/rpcsim"
+	"zebraconf/internal/simtime"
+)
+
+// Env is one unit test's isolated world: its own configuration runtime (so
+// an agent can be attached), its own network fabric, a time scale, and a
+// seeded random source for tests that model nondeterminism. Because nothing
+// is process-global, many tests run concurrently in one process — the analog
+// of the paper's 20 Docker containers per machine.
+type Env struct {
+	RT     *confkit.Runtime
+	Fabric *rpcsim.Fabric
+	Scale  *simtime.Scale
+
+	mu       sync.Mutex
+	rand     *rand.Rand
+	cleanups []func()
+}
+
+// NewEnv builds an environment over schema. seed drives Rand; scale may be
+// nil for the default tick duration.
+func NewEnv(schema *confkit.Registry, scale *simtime.Scale, seed int64) *Env {
+	if scale == nil {
+		scale = &simtime.Scale{}
+	}
+	return &Env{
+		RT:     confkit.NewRuntime(schema),
+		Fabric: rpcsim.NewFabric(),
+		Scale:  scale,
+		rand:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Float64 returns a deterministic pseudo-random number in [0,1). Unit tests
+// use it to model nondeterministic failures; distinct trials get distinct
+// seeds, so a flaky test really does flake across trials.
+func (e *Env) Float64() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rand.Float64()
+}
+
+// Intn returns a deterministic pseudo-random int in [0,n).
+func (e *Env) Intn(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rand.Intn(n)
+}
+
+// Defer registers a cleanup run by Close in LIFO order. Cluster constructors
+// register their shutdown here so nodes stop even when a test times out and
+// its own defers never run.
+func (e *Env) Defer(fn func()) {
+	e.mu.Lock()
+	e.cleanups = append(e.cleanups, fn)
+	e.mu.Unlock()
+}
+
+// Close runs all registered cleanups. It is idempotent.
+func (e *Env) Close() {
+	e.mu.Lock()
+	cleanups := e.cleanups
+	e.cleanups = nil
+	e.mu.Unlock()
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		func() {
+			defer func() { _ = recover() }()
+			cleanups[i]()
+		}()
+	}
+}
+
+// T is the testing handle passed to registered unit tests, a deliberately
+// small subset of testing.T: the same assertions the applications' real
+// JUnit suites use (fail, fail-now, log), recorded rather than reported so
+// the TestRunner can compare outcomes across configurations.
+type T struct {
+	Env *Env
+
+	mu     sync.Mutex
+	failed bool
+	logs   []string
+}
+
+// failNow is the panic sentinel FailNow/Fatalf abort the test with.
+type failNow struct{}
+
+// Errorf records a failure and continues, like testing.T.Errorf.
+func (t *T) Errorf(format string, args ...any) {
+	t.mu.Lock()
+	t.failed = true
+	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// Fatalf records a failure and aborts the test, like testing.T.Fatalf.
+func (t *T) Fatalf(format string, args ...any) {
+	t.Errorf(format, args...)
+	panic(failNow{})
+}
+
+// FailNow aborts the test, marking it failed.
+func (t *T) FailNow() {
+	t.mu.Lock()
+	t.failed = true
+	t.mu.Unlock()
+	panic(failNow{})
+}
+
+// Logf records a message without failing.
+func (t *T) Logf(format string, args ...any) {
+	t.mu.Lock()
+	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+	t.mu.Unlock()
+}
+
+// Failed reports whether the test recorded a failure.
+func (t *T) Failed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed
+}
+
+// Logs returns the recorded messages.
+func (t *T) Logs() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.logs))
+	copy(out, t.logs)
+	return out
+}
+
+// NoErr is a convenience assertion: it fails fatally when err is non-nil.
+func (t *T) NoErr(err error, context string) {
+	if err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+)
+
+func emptySchema() *confkit.Registry { return confkit.NewRegistry() }
+
+func TestEnvDeferLIFOAndIdempotentClose(t *testing.T) {
+	t.Parallel()
+	env := NewEnv(emptySchema(), nil, 1)
+	var order []int
+	env.Defer(func() { order = append(order, 1) })
+	env.Defer(func() { order = append(order, 2) })
+	env.Close()
+	env.Close() // idempotent
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("cleanup order = %v, want LIFO", order)
+	}
+}
+
+func TestEnvCloseSurvivesPanickingCleanup(t *testing.T) {
+	t.Parallel()
+	env := NewEnv(emptySchema(), nil, 1)
+	ran := false
+	env.Defer(func() { ran = true })
+	env.Defer(func() { panic("cleanup bug") })
+	env.Close()
+	if !ran {
+		t.Fatal("a panicking cleanup aborted the rest")
+	}
+}
+
+func TestEnvRandDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
+	a := NewEnv(emptySchema(), nil, 42)
+	b := NewEnv(emptySchema(), nil, 42)
+	c := NewEnv(emptySchema(), nil, 43)
+	va, vb, vc := a.Float64(), b.Float64(), c.Float64()
+	if va != vb {
+		t.Fatal("same seed produced different streams")
+	}
+	if va == vc {
+		t.Fatal("different seeds produced identical first draws")
+	}
+	if n := a.Intn(10); n < 0 || n >= 10 {
+		t.Fatalf("Intn out of range: %d", n)
+	}
+}
+
+func TestTFatalfAborts(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1)}
+	aborted := true
+	func() {
+		defer func() { _ = recover() }()
+		tt.Fatalf("boom %d", 7)
+		aborted = false
+	}()
+	if !aborted {
+		t.Fatal("Fatalf did not abort")
+	}
+	if !tt.Failed() {
+		t.Fatal("Fatalf did not mark failed")
+	}
+	if logs := tt.Logs(); len(logs) != 1 || logs[0] != "boom 7" {
+		t.Fatalf("logs = %v", logs)
+	}
+}
+
+func TestTErrorfContinues(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1)}
+	tt.Errorf("first")
+	tt.Logf("note")
+	if !tt.Failed() || len(tt.Logs()) != 2 {
+		t.Fatalf("state after Errorf: failed=%v logs=%v", tt.Failed(), tt.Logs())
+	}
+}
+
+func TestTNoErr(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1)}
+	tt.NoErr(nil, "fine")
+	if tt.Failed() {
+		t.Fatal("NoErr(nil) failed")
+	}
+}
+
+func appWith(test UnitTest) *App {
+	return &App{
+		Name:      "t-app",
+		Schema:    emptySchema,
+		NodeTypes: []string{"N"},
+		Tests:     []UnitTest{test},
+	}
+}
+
+func TestRunOncePassAndFail(t *testing.T) {
+	t.Parallel()
+	pass := appWith(UnitTest{Name: "P", Run: func(tt *T) {}})
+	out := RunOnce(pass, &pass.Tests[0], agent.Options{}, 1)
+	if out.Failed {
+		t.Fatalf("passing test reported failure: %s", out.Msg)
+	}
+	fail := appWith(UnitTest{Name: "F", Run: func(tt *T) { tt.Fatalf("expected failure") }})
+	out = RunOnce(fail, &fail.Tests[0], agent.Options{}, 1)
+	if !out.Failed || out.Msg != "expected failure" {
+		t.Fatalf("failing test outcome: %+v", out)
+	}
+}
+
+func TestRunOnceRecoversPanic(t *testing.T) {
+	t.Parallel()
+	app := appWith(UnitTest{Name: "P", Run: func(tt *T) { panic("unexpected") }})
+	out := RunOnce(app, &app.Tests[0], agent.Options{}, 1)
+	if !out.Failed {
+		t.Fatal("panicking test not marked failed")
+	}
+}
+
+func TestRunOnceTimeoutRunsCleanups(t *testing.T) {
+	t.Parallel()
+	cleaned := make(chan struct{}, 1)
+	app := appWith(UnitTest{
+		Name:    "Hang",
+		Timeout: 50 * time.Millisecond,
+		Run: func(tt *T) {
+			tt.Env.Defer(func() { cleaned <- struct{}{} })
+			select {} // hang forever
+		},
+	})
+	out := RunOnce(app, &app.Tests[0], agent.Options{}, 1)
+	if !out.Failed || !out.TimedOut {
+		t.Fatalf("hanging test outcome: %+v", out)
+	}
+	select {
+	case <-cleaned:
+	case <-time.After(time.Second):
+		t.Fatal("environment cleanups did not run after a timeout")
+	}
+}
+
+func TestAppTestLookup(t *testing.T) {
+	t.Parallel()
+	app := appWith(UnitTest{Name: "Only", Run: func(*T) {}})
+	if _, err := app.Test("Only"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Test("Missing"); err == nil {
+		t.Fatal("missing test resolved")
+	}
+	if names := app.TestNames(); len(names) != 1 || names[0] != "Only" {
+		t.Fatalf("TestNames = %v", names)
+	}
+	if types := app.NodeTypesSorted(); len(types) != 1 {
+		t.Fatalf("NodeTypesSorted = %v", types)
+	}
+}

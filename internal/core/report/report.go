@@ -1,0 +1,216 @@
+// Package report renders campaign results as the paper's tables (Tables
+// 1–5 analogs) in plain text and JSON, shared by the CLI tools and the
+// benchmark harness.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/harness"
+)
+
+// Table1 prints per-application statistics (paper Table 1): unit tests and
+// application-specific parameters.
+func Table1(w io.Writer, apps []*harness.App) {
+	fmt.Fprintf(w, "Table 1 — application statistics\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %15s %12s\n", "app", "#unit tests", "#parameters", "#seeded-unsafe", "#FP-traps")
+	for _, app := range apps {
+		schema := app.Schema()
+		fmt.Fprintf(w, "%-12s %12d %12d %15d %12d\n", app.Name, len(app.Tests), schema.Len(),
+			schema.TruthCount(confkit.SafetyUnsafe), schema.TruthCount(confkit.SafetyFalsePositive))
+	}
+}
+
+// Table2 prints the node types per application (paper Table 2).
+func Table2(w io.Writer, apps []*harness.App) {
+	fmt.Fprintf(w, "Table 2 — node types\n")
+	for _, app := range apps {
+		fmt.Fprintf(w, "%-12s %s\n", app.Name, strings.Join(app.NodeTypes, ", "))
+	}
+}
+
+// Table4 prints the instrumentation effort (paper Table 4).
+func Table4(w io.Writer, apps []*harness.App) {
+	fmt.Fprintf(w, "Table 4 — modified lines to apply ZebraConf\n")
+	fmt.Fprintf(w, "%-12s %s\n", "app", "node-class + conf-class annotations")
+	for _, app := range apps {
+		fmt.Fprintf(w, "%-12s %d + %d\n", app.Name, app.Annotations.NodeLines, app.Annotations.ConfLines)
+	}
+}
+
+// Table5 prints the instance-reduction pipeline for one campaign (paper
+// Table 5).
+func Table5(w io.Writer, res *campaign.Result) {
+	fmt.Fprintf(w, "Table 5 — test instances for %s\n", res.App)
+	fmt.Fprintf(w, "  %-28s %12d\n", "Original", res.Counts.Original)
+	fmt.Fprintf(w, "  %-28s %12d\n", "After pre-running unit tests", res.Counts.AfterPreRun)
+	fmt.Fprintf(w, "  %-28s %12d\n", "After removing uncertainty", res.Counts.AfterUncertainty)
+	fmt.Fprintf(w, "  %-28s %12d\n", "Executed (pooled campaign)", res.Counts.Executed)
+}
+
+// Findings prints the campaign's per-parameter verdicts, scored against
+// ground truth the way the paper's manual analysis scored reports
+// (Table 3 + §7.1).
+func Findings(w io.Writer, res *campaign.Result) {
+	fmt.Fprintf(w, "Findings for %s: %d reported (%d true, %d false positives), %d missed\n",
+		res.App, len(res.Reported), res.TruePositives, res.FalsePositives, len(res.Missed))
+	for _, r := range res.Reported {
+		marker := "TRUE "
+		if r.Truth != confkit.SafetyUnsafe {
+			marker = "FALSE"
+		}
+		fmt.Fprintf(w, "  [%s] %-55s p=%.2g tests=%d\n", marker, r.Param, r.MinP, len(r.Tests))
+		if r.Why != "" {
+			fmt.Fprintf(w, "         why: %s\n", r.Why)
+		}
+		if r.Example != "" {
+			fmt.Fprintf(w, "         e.g: %s\n", clip(r.Example, 140))
+		}
+	}
+	if len(res.Missed) > 0 {
+		fmt.Fprintf(w, "  missed unsafe parameters: %s\n", strings.Join(res.Missed, ", "))
+	}
+}
+
+// Mapping prints the §6.2 mapping statistics.
+func Mapping(w io.Writer, res *campaign.Result) {
+	fmt.Fprintf(w, "Mapping statistics for %s: sharing %.1f%% of %d conf-using tests, %d/%d tests with uncertain objects (%d objects of %d)\n",
+		res.App, 100*res.SharingRate(), res.ConfUsingTests,
+		res.UncertainTests, res.NumTests, res.TotalUncertain, res.TotalConfs)
+}
+
+// Hypothesis prints the §7.2 hypothesis-testing statistics.
+func Hypothesis(w io.Writer, res *campaign.Result) {
+	fmt.Fprintf(w, "Hypothesis testing for %s: %d first-trial signals, %d filtered as nondeterministic, %d homogeneous-invalid\n",
+		res.App, res.FirstTrialSignals, res.FilteredByHypothesis, res.HomoInvalid)
+}
+
+// Full prints everything for one campaign.
+func Full(w io.Writer, res *campaign.Result) {
+	Table5(w, res)
+	Findings(w, res)
+	Mapping(w, res)
+	Hypothesis(w, res)
+	fmt.Fprintf(w, "Elapsed: %v\n", res.Elapsed)
+}
+
+// JSON marshals campaign results for reportgen.
+func JSON(w io.Writer, results []*campaign.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Markdown renders one campaign as a Markdown section for EXPERIMENTS.md.
+func Markdown(w io.Writer, res *campaign.Result) {
+	fmt.Fprintf(w, "### %s\n\n", res.App)
+	fmt.Fprintf(w, "| stage | instances |\n|---|---|\n")
+	fmt.Fprintf(w, "| Original | %d |\n", res.Counts.Original)
+	fmt.Fprintf(w, "| After pre-run | %d |\n", res.Counts.AfterPreRun)
+	fmt.Fprintf(w, "| After uncertainty | %d |\n", res.Counts.AfterUncertainty)
+	fmt.Fprintf(w, "| Executed | %d |\n\n", res.Counts.Executed)
+	fmt.Fprintf(w, "Reported: %d (%d true / %d FP), missed: %d. Sharing %.1f%%. First-trial %d, filtered %d.\n\n",
+		len(res.Reported), res.TruePositives, res.FalsePositives, len(res.Missed),
+		100*res.SharingRate(), res.FirstTrialSignals, res.FilteredByHypothesis)
+	if len(res.Reported) > 0 {
+		fmt.Fprintf(w, "| parameter | verdict | why |\n|---|---|---|\n")
+		for _, r := range res.Reported {
+			verdict := "true problem"
+			if r.Truth != confkit.SafetyUnsafe {
+				verdict = "false positive"
+			}
+			fmt.Fprintf(w, "| `%s` | %s | %s |\n", r.Param, verdict, clip(r.Why, 120))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Summary aggregates several campaigns into the paper's headline numbers
+// (57 reported, 41 true).
+type Summary struct {
+	Reported       int
+	TruePositives  int
+	FalsePositives int
+	Missed         int
+	Executed       int64
+	FirstTrial     int
+	Filtered       int
+}
+
+// Summarize folds campaign results.
+func Summarize(results []*campaign.Result) Summary {
+	var s Summary
+	for _, r := range results {
+		s.Reported += len(r.Reported)
+		s.TruePositives += r.TruePositives
+		s.FalsePositives += r.FalsePositives
+		s.Missed += len(r.Missed)
+		s.Executed += r.Counts.Executed
+		s.FirstTrial += r.FirstTrialSignals
+		s.Filtered += r.FilteredByHypothesis
+	}
+	return s
+}
+
+// UniqueParams counts distinct reported parameters across campaigns (the
+// shared-library parameters appear in several apps).
+func UniqueParams(results []*campaign.Result) (total, trueOnes int) {
+	seen := map[string]confkit.Safety{}
+	for _, r := range results {
+		for _, p := range r.Reported {
+			seen[p.Param] = p.Truth
+		}
+	}
+	for _, truth := range seen {
+		total++
+		if truth == confkit.SafetyUnsafe {
+			trueOnes++
+		}
+	}
+	return total, trueOnes
+}
+
+// OverallMissed lists seeded-unsafe parameters no campaign reported: the
+// union-level miss count, the fair analog of the paper's aggregate result
+// (a parameter found through any application's suite counts as found).
+func OverallMissed(results []*campaign.Result, schemas []*confkit.Registry) []string {
+	reported := map[string]bool{}
+	for _, r := range results {
+		for _, p := range r.Reported {
+			reported[p.Param] = true
+		}
+	}
+	missed := map[string]bool{}
+	for _, schema := range schemas {
+		for _, p := range schema.Params() {
+			if p.Truth == confkit.SafetyUnsafe && !reported[p.Name] {
+				missed[p.Name] = true
+			}
+		}
+	}
+	var out []string
+	for p := range missed {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortResults orders campaigns by app name for stable output.
+func SortResults(results []*campaign.Result) {
+	sort.Slice(results, func(i, j int) bool { return results[i].App < results[j].App })
+}
+
+func clip(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}

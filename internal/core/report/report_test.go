@@ -1,0 +1,155 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/harness"
+)
+
+func sampleResults() []*campaign.Result {
+	return []*campaign.Result{
+		{
+			App: "beta", NumTests: 3, NumParams: 5,
+			Reported: []campaign.ParamReport{
+				{Param: "x.unsafe", Truth: confkit.SafetyUnsafe, Why: "breaks", Tests: []string{"T1"}, MinP: 1e-5},
+				{Param: "x.trap", Truth: confkit.SafetyFalsePositive, Why: "trap", Tests: []string{"T2"}, MinP: 1e-5},
+			},
+			TruePositives: 1, FalsePositives: 1,
+			FirstTrialSignals: 4, FilteredByHypothesis: 2,
+			ConfUsingTests: 3, SharingTests: 2,
+		},
+		{
+			App: "alpha", NumTests: 1, NumParams: 2,
+			Missed: []string{"y.unsafe"},
+		},
+	}
+}
+
+func sampleApps() []*harness.App {
+	schema := func() *confkit.Registry {
+		r := confkit.NewRegistry()
+		r.Register(
+			confkit.Param{Name: "x.unsafe", Kind: confkit.Bool, Default: "false", Truth: confkit.SafetyUnsafe},
+			confkit.Param{Name: "safe", Kind: confkit.Int, Default: "1"},
+		)
+		return r
+	}
+	return []*harness.App{{
+		Name: "beta", Schema: schema, NodeTypes: []string{"N"},
+		Annotations: harness.AnnotationStats{NodeLines: 3, ConfLines: 6},
+		Tests:       []harness.UnitTest{{Name: "T1"}},
+	}}
+}
+
+func TestTablesRender(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	apps := sampleApps()
+	Table1(&buf, apps)
+	Table2(&buf, apps)
+	Table4(&buf, apps)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 4", "beta", "3 + 6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tables miss %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFullAndMarkdownRender(t *testing.T) {
+	t.Parallel()
+	res := sampleResults()[0]
+	res.Counts.Original = 100
+	res.Counts.AfterPreRun = 10
+	res.Counts.AfterUncertainty = 9
+	res.Counts.Executed = 12
+
+	var buf bytes.Buffer
+	Full(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"Table 5", "x.unsafe", "[TRUE ]", "[FALSE]", "sharing 66.7%", "2 filtered"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Full output misses %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	Markdown(&buf, res)
+	md := buf.String()
+	if !strings.Contains(md, "| Original | 100 |") || !strings.Contains(md, "`x.unsafe`") {
+		t.Fatalf("Markdown output malformed:\n%s", md)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := JSON(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	var back []*campaign.Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].App != "beta" {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestSummarizeAndUniqueParams(t *testing.T) {
+	t.Parallel()
+	results := sampleResults()
+	s := Summarize(results)
+	if s.Reported != 2 || s.TruePositives != 1 || s.FalsePositives != 1 || s.Missed != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	total, trueOnes := UniqueParams(results)
+	if total != 2 || trueOnes != 1 {
+		t.Fatalf("unique = (%d, %d)", total, trueOnes)
+	}
+}
+
+func TestSharingRateZeroDivision(t *testing.T) {
+	t.Parallel()
+	r := &campaign.Result{}
+	if r.SharingRate() != 0 {
+		t.Fatal("zero conf-using tests should yield rate 0")
+	}
+}
+
+func TestOverallMissed(t *testing.T) {
+	t.Parallel()
+	schema := confkit.NewRegistry()
+	schema.Register(
+		confkit.Param{Name: "x.unsafe", Kind: confkit.Bool, Default: "false", Truth: confkit.SafetyUnsafe},
+		confkit.Param{Name: "never.found", Kind: confkit.Bool, Default: "false", Truth: confkit.SafetyUnsafe},
+	)
+	missed := OverallMissed(sampleResults(), []*confkit.Registry{schema})
+	if len(missed) != 1 || missed[0] != "never.found" {
+		t.Fatalf("overall missed = %v", missed)
+	}
+}
+
+func TestSortResults(t *testing.T) {
+	t.Parallel()
+	results := sampleResults()
+	SortResults(results)
+	if results[0].App != "alpha" {
+		t.Fatalf("not sorted: %s first", results[0].App)
+	}
+}
+
+func TestClip(t *testing.T) {
+	t.Parallel()
+	if got := clip("a\nb", 10); got != "a b" {
+		t.Fatalf("clip newline = %q", got)
+	}
+	if got := clip(strings.Repeat("x", 20), 5); got != "xxxxx..." {
+		t.Fatalf("clip long = %q", got)
+	}
+}

@@ -1,0 +1,57 @@
+package runner_test
+
+import (
+	"testing"
+
+	"zebraconf/internal/apps/minihdfs"
+	"zebraconf/internal/core/runner"
+)
+
+// TestSuggestDependenciesFindsHTTPAddressCoupling checks the future-work
+// dependency extractor on the paper's own example: the http/https policy
+// parameter determines which address parameter is read.
+func TestSuggestDependenciesFindsHTTPAddressCoupling(t *testing.T) {
+	t.Parallel()
+	app := minihdfs.App()
+	test, err := app.Test("TestFsck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner.New(app, runner.Options{})
+	suggestions := r.SuggestDependencies(test, app.Schema(), []string{minihdfs.ParamHTTPPolicy})
+
+	var httpsCoupled, httpCoupled bool
+	for _, s := range suggestions {
+		if s.Param != minihdfs.ParamHTTPPolicy {
+			t.Fatalf("suggestion for unexpected parameter: %+v", s)
+		}
+		for _, then := range s.ThenParams {
+			if s.When == "HTTPS_ONLY" && then == minihdfs.ParamHTTPSAddress {
+				httpsCoupled = true
+			}
+			if s.When == "HTTP_ONLY" && then == minihdfs.ParamHTTPAddress {
+				httpCoupled = true
+			}
+		}
+	}
+	if !httpsCoupled || !httpCoupled {
+		t.Fatalf("expected both policy->address couplings, got %+v", suggestions)
+	}
+}
+
+// TestSuggestDependenciesQuietOnUnconditionalReads checks the extractor
+// does not invent couplings for a parameter whose reads do not change the
+// read set.
+func TestSuggestDependenciesQuietOnUnconditionalReads(t *testing.T) {
+	t.Parallel()
+	app := minihdfs.App()
+	test, err := app.Test("TestMkdirList")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := runner.New(app, runner.Options{})
+	suggestions := r.SuggestDependencies(test, app.Schema(), []string{minihdfs.ParamFSLockFair})
+	if len(suggestions) != 0 {
+		t.Fatalf("unexpected suggestions for an unconditional parameter: %+v", suggestions)
+	}
+}

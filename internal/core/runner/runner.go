@@ -1,0 +1,221 @@
+// Package runner implements ZebraConf's TestRunner (paper §5): given a test
+// instance, it runs the heterogeneous configuration and every corresponding
+// homogeneous configuration, and reports a heterogeneous-unsafe parameter
+// only when the difference survives hypothesis testing at the paper's
+// significance level — filtering the false positives nondeterministic unit
+// tests would otherwise produce.
+package runner
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/stats"
+	"zebraconf/internal/core/testgen"
+)
+
+// Verdict classifies one instance after running.
+type Verdict int
+
+const (
+	// VerdictSafe: the heterogeneous run passed on the first trial.
+	VerdictSafe Verdict = iota
+	// VerdictUnsafe: the heterogeneous failure was confirmed significant.
+	VerdictUnsafe
+	// VerdictFiltered: the first trial looked unsafe but hypothesis
+	// testing could not confirm it — attributed to nondeterminism.
+	VerdictFiltered
+	// VerdictHomoInvalid: a homogeneous arm failed on the first trial, so
+	// Definition 3.1's precondition does not hold for this instance.
+	VerdictHomoInvalid
+)
+
+// String names the verdict for reports.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictUnsafe:
+		return "unsafe"
+	case VerdictFiltered:
+		return "filtered"
+	case VerdictHomoInvalid:
+		return "homo-invalid"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of running one instance (or one pooled run treated
+// as an instance).
+type Result struct {
+	Verdict Verdict
+	// FirstTrialSignal reports whether trial one showed the unsafe pattern
+	// (hetero failed, all homos passed) — the §7.2 "failed in the first
+	// trial" statistic.
+	FirstTrialSignal bool
+	// PValue is the final Fisher one-sided p-value (1 when no confirmation
+	// ran).
+	PValue float64
+	// Executions counts unit-test runs this instance consumed.
+	Executions int64
+	// HeteroMsg is a failure message from a heterogeneous run, for reports.
+	HeteroMsg string
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Significance is the hypothesis-testing level; zero means the paper's
+	// 1e-4.
+	Significance float64
+	// MaxRounds caps confirmation rounds after the first trial; zero means
+	// 8, enough to confirm a deterministic failure at 1e-4.
+	MaxRounds int
+	// DisableGate runs confirmation rounds even when the first trial shows
+	// no unsafe signal (the E11 ablation: spends trials to reduce false
+	// negatives).
+	DisableGate bool
+	// Strategy selects the agent's read-mapping strategy.
+	Strategy agent.Strategy
+}
+
+// Runner executes instances against one application.
+type Runner struct {
+	app  *harness.App
+	opts Options
+	// executions counts every unit-test run across the runner's lifetime.
+	executions atomic.Int64
+}
+
+// New returns a runner for app.
+func New(app *harness.App, opts Options) *Runner {
+	if opts.Significance <= 0 {
+		opts.Significance = stats.DefaultSignificance
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 8
+	}
+	return &Runner{app: app, opts: opts}
+}
+
+// Executions reports the total unit-test runs performed so far.
+func (r *Runner) Executions() int64 { return r.executions.Load() }
+
+// seedFor derives a deterministic per-run seed so nondeterministic tests
+// really vary across trials but campaigns stay reproducible.
+func seedFor(label string, arm string, round int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write([]byte(arm))
+	h.Write([]byte{byte(round), byte(round >> 8)})
+	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
+}
+
+// runOnce executes the unit test under one assignment.
+func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) harness.Outcome {
+	r.executions.Add(1)
+	return harness.RunOnce(r.app, test, agent.Options{
+		Strategy: r.opts.Strategy,
+		Assign:   assign,
+	}, seedFor(label, arm, round))
+}
+
+// PreRun executes every unit test once with no assignments, collecting the
+// §4 pre-run reports (node types started, parameter usage, uncertainty).
+func (r *Runner) PreRun(test *harness.UnitTest) testgen.PreRun {
+	r.executions.Add(1)
+	out := harness.RunOnce(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(test.Name, "prerun", 0))
+	return testgen.PreRun{Test: test.Name, Report: out.Report}
+}
+
+// RunAssignment applies Definition 3.1 to one assignment set: first trial of
+// the heterogeneous arm and each homogeneous arm; on an unsafe signal (or
+// with gating disabled) it keeps running paired trials until Fisher's exact
+// test confirms the heterogeneous failure at the significance level, or the
+// round budget is exhausted.
+func (r *Runner) RunAssignment(test *harness.UnitTest, asn testgen.Assignment, label string) Result {
+	res := Result{PValue: 1}
+
+	het := r.runOnce(test, asn.Hetero, label, "hetero", 0)
+	heteroFail, heteroPass := int64(0), int64(0)
+	if het.Failed {
+		heteroFail++
+		res.HeteroMsg = het.Msg
+	} else {
+		heteroPass++
+	}
+	homoFail, homoPass := int64(0), int64(0)
+	anyHomoFailedFirst := false
+	for i, arm := range asn.Homo {
+		out := r.runOnce(test, arm, label, homoArmName(i), 0)
+		if out.Failed {
+			homoFail++
+			anyHomoFailedFirst = true
+		} else {
+			homoPass++
+		}
+	}
+	res.Executions = 1 + int64(len(asn.Homo))
+	res.FirstTrialSignal = het.Failed && !anyHomoFailedFirst
+
+	if !res.FirstTrialSignal && !r.opts.DisableGate {
+		switch {
+		case !het.Failed:
+			res.Verdict = VerdictSafe
+		default:
+			res.Verdict = VerdictHomoInvalid
+		}
+		return res
+	}
+
+	// Confirmation rounds: paired trials until significance or budget.
+	for round := 1; round <= r.opts.MaxRounds; round++ {
+		het := r.runOnce(test, asn.Hetero, label, "hetero", round)
+		if het.Failed {
+			heteroFail++
+			if res.HeteroMsg == "" {
+				res.HeteroMsg = het.Msg
+			}
+		} else {
+			heteroPass++
+		}
+		for i, arm := range asn.Homo {
+			out := r.runOnce(test, arm, label, homoArmName(i), round)
+			if out.Failed {
+				homoFail++
+			} else {
+				homoPass++
+			}
+		}
+		res.Executions += 1 + int64(len(asn.Homo))
+
+		res.PValue = stats.FisherOneSided(heteroFail, heteroPass, homoFail, homoPass)
+		if res.PValue < r.opts.Significance {
+			res.Verdict = VerdictUnsafe
+			return res
+		}
+	}
+	if heteroFail == 0 {
+		res.Verdict = VerdictSafe
+		return res
+	}
+	res.Verdict = VerdictFiltered
+	return res
+}
+
+// RunPooled executes just the heterogeneous arm of a pooled assignment; the
+// pool machinery only needs pass/fail to decide whether to split.
+func (r *Runner) RunPooled(test *harness.UnitTest, asn testgen.Assignment, label string) (failed bool) {
+	out := r.runOnce(test, asn.Hetero, label, "pool", 0)
+	return out.Failed
+}
+
+func homoArmName(i int) string {
+	if i == 0 {
+		return "homoA"
+	}
+	return "homoB"
+}

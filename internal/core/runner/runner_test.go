@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"testing"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/testgen"
+)
+
+// syntheticApp builds a tiny application with one node type reading one
+// parameter; its single test fails exactly when the node's value differs
+// from the unit test's ("deterministic" mode), fails randomly ("flaky"),
+// or fails under a specific homogeneous value ("homobad").
+func syntheticApp(mode string) *harness.App {
+	schema := func() *confkit.Registry {
+		r := confkit.NewRegistry()
+		r.Register(confkit.Param{Name: "sync.word", Kind: confkit.Enum,
+			Default: "alpha", Candidates: []string{"alpha", "beta"}})
+		return r
+	}
+	return &harness.App{
+		Name:      "synthetic-" + mode,
+		Schema:    schema,
+		NodeTypes: []string{"Node"},
+		Tests: []harness.UnitTest{{
+			Name: "TestSync",
+			Run: func(t *harness.T) {
+				testConf := t.Env.RT.NewConf()
+				t.Env.RT.StartInit("Node")
+				nodeConf := testConf.RefToClone()
+				t.Env.RT.StopInit()
+
+				nodeVal := nodeConf.Get("sync.word")
+				testVal := testConf.Get("sync.word")
+				switch mode {
+				case "deterministic":
+					if nodeVal != testVal {
+						t.Fatalf("node speaks %q, client speaks %q", nodeVal, testVal)
+					}
+				case "flaky":
+					if t.Env.Float64() < 0.4 {
+						t.Fatalf("simulated race")
+					}
+				case "homobad":
+					// Fails whenever ANY participant uses "beta" — so the
+					// homogeneous beta arm fails too and the instance is
+					// unattributable under Definition 3.1.
+					if nodeVal == "beta" || testVal == "beta" {
+						t.Fatalf("beta mode is broken everywhere")
+					}
+				}
+			},
+		}},
+	}
+}
+
+// instanceFor builds the canonical flip instance for the synthetic app.
+func instanceFor(app *harness.App, r *Runner) (testgen.Assignment, *harness.UnitTest) {
+	test := &app.Tests[0]
+	pre := r.PreRun(test)
+	gen := testgen.New(app.Schema())
+	insts := gen.Instances(pre, testgen.InstancesOptions{})
+	if len(insts) == 0 {
+		panic("no instances generated for the synthetic app")
+	}
+	return gen.AssignFor(insts[0], &pre.Report), test
+}
+
+func TestDeterministicUnsafeConfirmed(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	r := New(app, Options{})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "det")
+	if res.Verdict != VerdictUnsafe {
+		t.Fatalf("verdict = %v, want unsafe (msg %q)", res.Verdict, res.HeteroMsg)
+	}
+	if !res.FirstTrialSignal {
+		t.Fatal("no first-trial signal for a deterministic bug")
+	}
+	if res.PValue >= 1e-4 {
+		t.Fatalf("p-value %g not significant", res.PValue)
+	}
+	if res.HeteroMsg == "" {
+		t.Fatal("no failure message recorded")
+	}
+}
+
+func TestSafeParameterPassesCheaply(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("none")
+	r := New(app, Options{})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "safe")
+	if res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+	// With gating, a passing first trial costs exactly 1 + len(homo) runs.
+	if want := int64(1 + len(asn.Homo)); res.Executions != want {
+		t.Fatalf("executions = %d, want %d (gate saves trials)", res.Executions, want)
+	}
+}
+
+func TestFlakyTestFiltered(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("flaky")
+	r := New(app, Options{})
+	asn, test := instanceFor(app, r)
+
+	// Scan labels until one hits the first-trial signal (hetero fails,
+	// homos pass); hypothesis testing must then refuse to confirm.
+	for i := 0; i < 64; i++ {
+		res := r.RunAssignment(test, asn, "flaky-"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		if !res.FirstTrialSignal {
+			continue
+		}
+		if res.Verdict == VerdictUnsafe {
+			t.Fatalf("flaky failure confirmed as unsafe (p=%g)", res.PValue)
+		}
+		if res.Verdict != VerdictFiltered && res.Verdict != VerdictSafe {
+			t.Fatalf("verdict = %v", res.Verdict)
+		}
+		return
+	}
+	t.Skip("no first-trial signal in 64 labels; flake probability too low for this seed set")
+}
+
+func TestHomoInvalidDetected(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("homobad")
+	r := New(app, Options{})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "homobad")
+	if res.Verdict != VerdictHomoInvalid {
+		t.Fatalf("verdict = %v, want homo-invalid", res.Verdict)
+	}
+}
+
+func TestGateDisabledStillConverges(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("none")
+	r := New(app, Options{DisableGate: true, MaxRounds: 3})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "nogate")
+	if res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+	// Without gating every round runs: (1 + maxRounds) * (1 + homo arms).
+	want := int64((1 + 3) * (1 + len(asn.Homo)))
+	if res.Executions != want {
+		t.Fatalf("executions = %d, want %d without gating", res.Executions, want)
+	}
+}
+
+func TestRunPooledReportsHeteroFailureOnly(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	r := New(app, Options{})
+	asn, test := instanceFor(app, r)
+	if !r.RunPooled(test, asn, "pool") {
+		t.Fatal("pooled heterogeneous run passed on a deterministic bug")
+	}
+	before := r.Executions()
+	// A pooled run costs exactly one execution.
+	r.RunPooled(test, asn, "pool2")
+	if r.Executions() != before+1 {
+		t.Fatalf("pooled run cost %d executions", r.Executions()-before)
+	}
+}
+
+func TestSeedsDifferAcrossArmsAndRounds(t *testing.T) {
+	t.Parallel()
+	seen := map[int64]bool{}
+	for _, arm := range []string{"hetero", "homoA", "homoB"} {
+		for round := 0; round < 4; round++ {
+			s := seedFor("label", arm, round)
+			if seen[s] {
+				t.Fatalf("seed collision at %s/%d", arm, round)
+			}
+			seen[s] = true
+		}
+	}
+	if seedFor("a", "hetero", 0) == seedFor("b", "hetero", 0) {
+		t.Fatal("labels do not differentiate seeds")
+	}
+}
+
+func TestPreRunCollectsUsage(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("none")
+	r := New(app, Options{})
+	pre := r.PreRun(&app.Tests[0])
+	if pre.Report.NodesStarted["Node"] != 1 {
+		t.Fatalf("pre-run nodes: %v", pre.Report.NodesStarted)
+	}
+	if !pre.Report.Usage["Node"]["sync.word"] {
+		t.Fatalf("pre-run usage: %v", pre.Report.Usage)
+	}
+	if !pre.Report.Usage[agent.UnitTestEntity]["sync.word"] {
+		t.Fatal("unit-test usage missing")
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats provides the hypothesis-testing math the TestRunner uses to
+// separate true heterogeneous-unsafe parameters from nondeterministic test
+// flakiness (paper §5).
+//
+// The paper confirms a parameter as heterogeneous unsafe only when repeated
+// trials establish it "with high probability, according to hypothesis
+// testing using a significance level of 0.0001". We realize that with a
+// one-sided Fisher exact test on the 2×2 table
+//
+//	            fail      pass
+//	hetero       a          b
+//	homo         c          d
+//
+// rejecting the null hypothesis "heterogeneous trials fail no more often
+// than homogeneous trials" when the tail probability is below the
+// significance level.
+package stats
+
+import "math"
+
+// DefaultSignificance is the paper's significance level (1 − 99.99%).
+const DefaultSignificance = 1e-4
+
+// LogChoose returns ln C(n, k). It returns -Inf for k outside [0, n].
+func LogChoose(n, k int64) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
+}
+
+// logFactorial returns ln n! via the log-gamma function.
+func logFactorial(n int64) float64 {
+	if n < 0 {
+		return math.Inf(-1)
+	}
+	v, _ := math.Lgamma(float64(n) + 1)
+	return v
+}
+
+// HypergeomPMF returns P(X = k) for a hypergeometric variable: k successes
+// drawn in a sample of size sample from a population of size pop containing
+// succ successes.
+func HypergeomPMF(pop, succ, sample, k int64) float64 {
+	lp := LogChoose(succ, k) + LogChoose(pop-succ, sample-k) - LogChoose(pop, sample)
+	if math.IsInf(lp, -1) {
+		return 0
+	}
+	return math.Exp(lp)
+}
+
+// FisherOneSided returns the one-sided p-value that the first row's failure
+// rate exceeds the second row's by chance: the probability, with margins
+// fixed, of a table at least as extreme (heteroFail' >= heteroFail).
+//
+//	heteroFail, heteroPass — failures/passes under the heterogeneous config
+//	homoFail,   homoPass   — pooled failures/passes under the homogeneous configs
+func FisherOneSided(heteroFail, heteroPass, homoFail, homoPass int64) float64 {
+	if heteroFail < 0 || heteroPass < 0 || homoFail < 0 || homoPass < 0 {
+		return 1
+	}
+	pop := heteroFail + heteroPass + homoFail + homoPass
+	if pop == 0 {
+		return 1
+	}
+	succ := heteroFail + homoFail     // total failures
+	sample := heteroFail + heteroPass // hetero row size
+	maxK := min64(succ, sample)
+	p := 0.0
+	for k := heteroFail; k <= maxK; k++ {
+		p += HypergeomPMF(pop, succ, sample, k)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// BinomialTail returns P(X >= k) for X ~ Binomial(n, p), computed in log
+// space for stability.
+func BinomialTail(n, k int64, p float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	sum := 0.0
+	for i := k; i <= n; i++ {
+		sum += math.Exp(LogChoose(n, i) + float64(i)*lp + float64(n-i)*lq)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// MinTrialsForCertainty returns the smallest number of paired trials n such
+// that a deterministic signal (n/n hetero failures, 0/n homo failures over
+// one homogeneous arm) reaches the given significance: 1/C(2n, n) < alpha.
+// It is what sizes the runner's confirmation loop for the common case.
+func MinTrialsForCertainty(alpha float64) int64 {
+	for n := int64(1); n < 64; n++ {
+		if 1/math.Exp(LogChoose(2*n, n)) < alpha {
+			return n
+		}
+	}
+	return 64
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLogChooseKnownValues(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{0, 0, 1},
+		{5, 2, 10},
+		{10, 5, 252},
+		{16, 8, 12870},
+		{30, 15, 155117520},
+	}
+	for _, c := range cases {
+		got := math.Exp(LogChoose(c.n, c.k))
+		if !almost(got, c.want, c.want*1e-9+1e-9) {
+			t.Errorf("C(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(3, 5), -1) || !math.IsInf(LogChoose(3, -1), -1) {
+		t.Error("out-of-range LogChoose not -Inf")
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	t.Parallel()
+	const pop, succ, sample = 20, 8, 6
+	sum := 0.0
+	for k := int64(0); k <= sample; k++ {
+		sum += HypergeomPMF(pop, succ, sample, k)
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("hypergeometric pmf sums to %g", sum)
+	}
+}
+
+func TestFisherDeterministicSignal(t *testing.T) {
+	t.Parallel()
+	// 9 hetero failures / 0 passes vs 0 homo failures / 18 passes: the
+	// paper's deterministic-bug shape after 8 confirmation rounds.
+	p := FisherOneSided(9, 0, 0, 18)
+	if p >= DefaultSignificance {
+		t.Fatalf("deterministic signal p = %g, want < %g", p, DefaultSignificance)
+	}
+	// Exact value: 1/C(27,9).
+	want := 1 / math.Exp(LogChoose(27, 9))
+	if !almost(p, want, want*1e-6) {
+		t.Fatalf("p = %g, want %g", p, want)
+	}
+}
+
+func TestFisherNoSignal(t *testing.T) {
+	t.Parallel()
+	if p := FisherOneSided(0, 9, 0, 18); p != 1 {
+		t.Fatalf("no-failure table p = %g, want 1", p)
+	}
+	// Equal failure rates must not be significant.
+	if p := FisherOneSided(3, 6, 6, 12); p < 0.1 {
+		t.Fatalf("balanced flakiness p = %g, suspiciously small", p)
+	}
+}
+
+func TestFisherDegenerateTables(t *testing.T) {
+	t.Parallel()
+	if p := FisherOneSided(0, 0, 0, 0); p != 1 {
+		t.Fatalf("empty table p = %g", p)
+	}
+	if p := FisherOneSided(-1, 2, 3, 4); p != 1 {
+		t.Fatalf("negative cell p = %g", p)
+	}
+}
+
+// Property: the Fisher p-value is a probability and shrinks (weakly) as
+// hetero failures grow with everything else fixed.
+func TestFisherPropertyBoundsAndMonotonicity(t *testing.T) {
+	t.Parallel()
+	fn := func(hf, hp, of, op uint8) bool {
+		a, b, c, d := int64(hf%10), int64(hp%10), int64(of%10), int64(op%10)
+		p := FisherOneSided(a, b, c, d)
+		if p < 0 || p > 1 {
+			return false
+		}
+		// Adding one more hetero failure (converting a pass) cannot make
+		// the signal weaker.
+		if b > 0 {
+			p2 := FisherOneSided(a+1, b-1, c, d)
+			if p2 > p+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	t.Parallel()
+	if got := BinomialTail(10, 0, 0.5); got != 1 {
+		t.Fatalf("P(X>=0) = %g", got)
+	}
+	if got := BinomialTail(10, 11, 0.5); got != 0 {
+		t.Fatalf("P(X>=11 of 10) = %g", got)
+	}
+	// P(X >= 5 | n=10, p=0.5) = 0.623046875
+	if got := BinomialTail(10, 5, 0.5); !almost(got, 0.623046875, 1e-9) {
+		t.Fatalf("P(X>=5) = %g", got)
+	}
+	if got := BinomialTail(10, 3, 0); got != 0 {
+		t.Fatalf("p=0 tail = %g", got)
+	}
+	if got := BinomialTail(10, 3, 1); got != 1 {
+		t.Fatalf("p=1 tail = %g", got)
+	}
+}
+
+func TestMinTrialsForCertainty(t *testing.T) {
+	t.Parallel()
+	// C(14,7)=3432 < 1e4 <= C(16,8)=12870, so 8 paired trials are needed
+	// at the paper's significance.
+	if got := MinTrialsForCertainty(1e-4); got != 8 {
+		t.Fatalf("MinTrialsForCertainty(1e-4) = %d, want 8", got)
+	}
+	if got := MinTrialsForCertainty(0.1); got != 3 {
+		t.Fatalf("MinTrialsForCertainty(0.1) = %d, want 3", got)
+	}
+}

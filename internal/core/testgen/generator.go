@@ -1,0 +1,284 @@
+// Package testgen implements ZebraConf's TestGenerator (paper §4): it
+// decides which unit tests to run with which heterogeneous configurations,
+// applying the paper's reduction techniques — independent parameters,
+// representative value pairs, representative assignment strategies, pre-run
+// filtering, uncertainty exclusion, and pooled testing.
+package testgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+)
+
+// Strategy names the two representative value-assignment strategies of §4.
+type Strategy string
+
+const (
+	// StrategyFlip assigns one value to every node of the target group and
+	// the other value to every other entity: heterogeneity ACROSS types.
+	StrategyFlip Strategy = "flip"
+	// StrategyRoundRobin alternates the two values across the nodes of the
+	// target group (and gives the second value to everyone else):
+	// heterogeneity WITHIN a type.
+	StrategyRoundRobin Strategy = "rr"
+)
+
+// Pair is one unordered pair of candidate values for a parameter.
+type Pair struct {
+	A, B string
+}
+
+// Pairs enumerates the value pairs to test for a parameter, following the
+// §4 selection policy via Param.AutoValues.
+func Pairs(p *confkit.Param) []Pair {
+	vals := p.AutoValues()
+	var out []Pair
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			out = append(out, Pair{A: vals[i], B: vals[j]})
+		}
+	}
+	return out
+}
+
+// Instance is one leaf test instance: a unit test, one parameter, and a
+// fully specified way to assign its two values to nodes.
+type Instance struct {
+	Test     string
+	Param    string
+	Group    string // node type, or agent.UnitTestEntity
+	Strategy Strategy
+	// Reversed swaps which value the group receives.
+	Reversed bool
+	Pair     Pair
+}
+
+// String renders an instance compactly for logs and reports.
+func (in Instance) String() string {
+	dir := "fwd"
+	if in.Reversed {
+		dir = "rev"
+	}
+	return fmt.Sprintf("%s/%s@%s[%s,%s](%s<->%s)", in.Test, in.Param, in.Group, in.Strategy, dir, in.Pair.A, in.Pair.B)
+}
+
+// PreRun couples a unit test with its pre-run report.
+type PreRun struct {
+	Test   string
+	Report agent.Report
+}
+
+// Generator derives test instances for one application. Its mutating
+// methods (Quarantine, SetFilter) and readers are safe for concurrent use
+// by campaign workers.
+type Generator struct {
+	schema *confkit.Registry
+
+	mu sync.RWMutex
+	// quarantined parameters are excluded from further generation (the
+	// frequent-failer rule of §4 "Pooled testing").
+	quarantined map[string]bool
+	// filter, when non-nil, restricts generation to a parameter subset.
+	filter map[string]bool
+}
+
+// New returns a generator over the application's schema.
+func New(schema *confkit.Registry) *Generator {
+	return &Generator{schema: schema, quarantined: make(map[string]bool)}
+}
+
+// SetFilter restricts generation to the given parameters.
+func (g *Generator) SetFilter(params []string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.filter = make(map[string]bool, len(params))
+	for _, p := range params {
+		g.filter[p] = true
+	}
+}
+
+// InFilter reports whether param is part of the campaign (always true
+// without a filter).
+func (g *Generator) InFilter(param string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.filter == nil || g.filter[param]
+}
+
+// Quarantine marks a parameter as already-known-unsafe; no further
+// instances are generated for it.
+func (g *Generator) Quarantine(param string) {
+	g.mu.Lock()
+	g.quarantined[param] = true
+	g.mu.Unlock()
+}
+
+// Quarantined reports whether param is quarantined.
+func (g *Generator) Quarantined(param string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.quarantined[param]
+}
+
+// eligibleGroups returns the entities that actually read param in the
+// pre-run, sorted (the §4 filtering rule), and the per-group node count.
+func eligibleGroups(rep *agent.Report, param string) []string {
+	var groups []string
+	for entity, params := range rep.Usage {
+		if !params[param] {
+			continue
+		}
+		if entity != agent.UnitTestEntity && rep.NodesStarted[entity] == 0 {
+			continue
+		}
+		groups = append(groups, entity)
+	}
+	sort.Strings(groups)
+	return groups
+}
+
+// uncertainSet converts the report's uncertain parameter list to a set.
+func uncertainSet(rep *agent.Report) map[string]bool {
+	set := make(map[string]bool, len(rep.UncertainParams))
+	for _, p := range rep.UncertainParams {
+		set[p] = true
+	}
+	return set
+}
+
+// InstancesOptions tunes instance generation, mainly for the Table 5
+// ablation rows.
+type InstancesOptions struct {
+	// SkipUncertaintyFilter keeps instances whose parameter was read
+	// through an unmappable configuration object (Table 5 row 2 counts
+	// instances before this filter removes them).
+	SkipUncertaintyFilter bool
+	// DisableRoundRobin drops the within-type strategy (the E12 ablation:
+	// same-type heterogeneity bugs become invisible).
+	DisableRoundRobin bool
+}
+
+// Instances generates every leaf instance for one pre-run unit test,
+// applying the §4 reductions: tests that start no nodes produce nothing;
+// parameters are only assigned to groups that read them; round-robin is
+// only emitted for groups with at least two nodes; uncertain (test,
+// parameter) combinations are excluded.
+func (g *Generator) Instances(pre PreRun, opts InstancesOptions) []Instance {
+	rep := &pre.Report
+	if len(rep.NodesStarted) == 0 {
+		return nil
+	}
+	uncertain := uncertainSet(rep)
+	var out []Instance
+	for _, p := range g.schema.Params() {
+		if !g.InFilter(p.Name) || g.Quarantined(p.Name) {
+			continue
+		}
+		if uncertain[p.Name] && !opts.SkipUncertaintyFilter {
+			continue
+		}
+		groups := eligibleGroups(rep, p.Name)
+		if len(groups) == 0 {
+			continue
+		}
+		for _, pair := range Pairs(p) {
+			for _, group := range groups {
+				for _, reversed := range []bool{false, true} {
+					out = append(out, Instance{
+						Test: pre.Test, Param: p.Name, Group: group,
+						Strategy: StrategyFlip, Reversed: reversed, Pair: pair,
+					})
+					if !opts.DisableRoundRobin && group != agent.UnitTestEntity && rep.NodesStarted[group] >= 2 {
+						out = append(out, Instance{
+							Test: pre.Test, Param: p.Name, Group: group,
+							Strategy: StrategyRoundRobin, Reversed: reversed, Pair: pair,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Assignment is the concrete per-entity value map for one run, plus the
+// homogeneous arms Definition 3.1 requires.
+type Assignment struct {
+	Hetero map[agent.Key]string
+	// Homo holds one fully homogeneous assignment per distinct value.
+	Homo []map[agent.Key]string
+}
+
+// AssignFor materializes an instance against the node population the
+// pre-run observed, including dependency rules (§4: "when testing p1 with
+// v1, set p2 to v2").
+func (g *Generator) AssignFor(in Instance, rep *agent.Report) Assignment {
+	groupVal, otherVal := in.Pair.A, in.Pair.B
+	if in.Reversed {
+		groupVal, otherVal = in.Pair.B, in.Pair.A
+	}
+
+	hetero := make(map[agent.Key]string)
+	g.forEachEntity(rep, func(k agent.Key) {
+		k.Param = in.Param
+		switch {
+		case k.NodeType != in.Group:
+			g.assign(hetero, k, otherVal)
+		case in.Strategy == StrategyRoundRobin && k.NodeIndex%2 == 1:
+			g.assign(hetero, k, otherVal)
+		default:
+			g.assign(hetero, k, groupVal)
+		}
+	})
+
+	homoA := make(map[agent.Key]string)
+	homoB := make(map[agent.Key]string)
+	g.forEachEntity(rep, func(k agent.Key) {
+		k.Param = in.Param
+		g.assign(homoA, k, in.Pair.A)
+		g.assign(homoB, k, in.Pair.B)
+	})
+	return Assignment{Hetero: hetero, Homo: []map[agent.Key]string{homoA, homoB}}
+}
+
+// assign stores value for key and applies the parameter's dependency rules
+// on the same entity.
+func (g *Generator) assign(m map[agent.Key]string, k agent.Key, value string) {
+	m[k] = value
+	p := g.schema.Lookup(k.Param)
+	if p == nil {
+		return
+	}
+	for _, rule := range p.DependsOn {
+		if rule.If != value {
+			continue
+		}
+		dep := agent.Key{NodeType: k.NodeType, NodeIndex: k.NodeIndex, Param: rule.Then}
+		if _, exists := m[dep]; !exists {
+			m[dep] = rule.To
+		}
+	}
+}
+
+// forEachEntity visits every (entity, index) the pre-run observed,
+// including the unit test itself.
+func (g *Generator) forEachEntity(rep *agent.Report, fn func(agent.Key)) {
+	types := make([]string, 0, len(rep.NodesStarted))
+	for t := range rep.NodesStarted {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		// Allow headroom for nodes a test starts later (AddDataNode after
+		// filling the cluster): double the observed population.
+		n := rep.NodesStarted[t] * 2
+		for i := 0; i < n; i++ {
+			fn(agent.Key{NodeType: t, NodeIndex: i})
+		}
+	}
+	fn(agent.Key{NodeType: agent.UnitTestEntity, NodeIndex: 0})
+}

@@ -1,0 +1,331 @@
+package testgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+)
+
+func testSchema() *confkit.Registry {
+	r := confkit.NewRegistry()
+	r.Register(
+		confkit.Param{Name: "a.bool", Kind: confkit.Bool, Default: "false"},
+		confkit.Param{Name: "b.int", Kind: confkit.Int, Default: "10"},
+		confkit.Param{Name: "c.enum", Kind: confkit.Enum, Default: "x",
+			Candidates: []string{"x", "y", "z"}},
+		confkit.Param{Name: "d.dep", Kind: confkit.Enum, Default: "http",
+			Candidates: []string{"http", "https"},
+			DependsOn: []confkit.DependencyRule{
+				{If: "https", Then: "d.addr", To: "secure-host"},
+			}},
+		confkit.Param{Name: "d.addr", Kind: confkit.String, Default: "plain-host"},
+	)
+	return r
+}
+
+func preRunWith(nodes map[string]int, usage map[string][]string, uncertain []string) PreRun {
+	rep := agent.Report{
+		NodesStarted:    nodes,
+		Usage:           make(map[string]map[string]bool),
+		UncertainParams: uncertain,
+	}
+	for entity, params := range usage {
+		set := make(map[string]bool)
+		for _, p := range params {
+			set[p] = true
+		}
+		rep.Usage[entity] = set
+	}
+	return PreRun{Test: "T", Report: rep}
+}
+
+func TestPairsEnumeration(t *testing.T) {
+	t.Parallel()
+	s := testSchema()
+	if got := len(Pairs(s.Lookup("a.bool"))); got != 1 {
+		t.Fatalf("bool pairs = %d, want 1", got)
+	}
+	if got := len(Pairs(s.Lookup("b.int"))); got != 3 { // 3 auto values -> C(3,2)
+		t.Fatalf("int pairs = %d, want 3", got)
+	}
+	if got := len(Pairs(s.Lookup("c.enum"))); got != 3 {
+		t.Fatalf("enum pairs = %d, want 3", got)
+	}
+}
+
+func TestInstancesRequireNodes(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(nil, map[string][]string{agent.UnitTestEntity: {"a.bool"}}, nil)
+	if got := g.Instances(pre, InstancesOptions{}); len(got) != 0 {
+		t.Fatalf("instances for a node-less test: %d", len(got))
+	}
+}
+
+func TestInstancesUsageFiltering(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(
+		map[string]int{"NN": 1, "DN": 2},
+		map[string][]string{"DN": {"a.bool"}},
+		nil,
+	)
+	insts := g.Instances(pre, InstancesOptions{})
+	for _, in := range insts {
+		if in.Param != "a.bool" || in.Group != "DN" {
+			t.Fatalf("instance outside observed usage: %+v", in)
+		}
+	}
+	// DN has 2 nodes: flip fwd/rev + rr fwd/rev = 4 per pair, 1 pair.
+	if len(insts) != 4 {
+		t.Fatalf("instances = %d, want 4", len(insts))
+	}
+}
+
+func TestRoundRobinNeedsTwoNodes(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(
+		map[string]int{"NN": 1},
+		map[string][]string{"NN": {"a.bool"}},
+		nil,
+	)
+	for _, in := range g.Instances(pre, InstancesOptions{}) {
+		if in.Strategy == StrategyRoundRobin {
+			t.Fatalf("round-robin generated for a single-node group: %+v", in)
+		}
+	}
+}
+
+func TestUncertaintyExclusion(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(
+		map[string]int{"NN": 1},
+		map[string][]string{"NN": {"a.bool", "b.int"}},
+		[]string{"b.int"},
+	)
+	withFilter := g.Instances(pre, InstancesOptions{})
+	withoutFilter := g.Instances(pre, InstancesOptions{SkipUncertaintyFilter: true})
+	if len(withoutFilter) <= len(withFilter) {
+		t.Fatalf("uncertainty filter removed nothing: %d vs %d", len(withoutFilter), len(withFilter))
+	}
+	for _, in := range withFilter {
+		if in.Param == "b.int" {
+			t.Fatalf("uncertain parameter still generated: %+v", in)
+		}
+	}
+}
+
+func TestQuarantineAndFilter(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1},
+		map[string][]string{"NN": {"a.bool", "b.int"}}, nil)
+	g.Quarantine("a.bool")
+	for _, in := range g.Instances(pre, InstancesOptions{}) {
+		if in.Param == "a.bool" {
+			t.Fatal("quarantined parameter generated")
+		}
+	}
+	g.SetFilter([]string{"a.bool"}) // filtered AND quarantined -> nothing
+	if got := g.Instances(pre, InstancesOptions{}); len(got) != 0 {
+		t.Fatalf("filter+quarantine left %d instances", len(got))
+	}
+	if g.InFilter("b.int") {
+		t.Fatal("filter admits unlisted parameter")
+	}
+}
+
+func TestAssignForFlip(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1, "DN": 2},
+		map[string][]string{"DN": {"a.bool"}}, nil)
+	in := Instance{Test: "T", Param: "a.bool", Group: "DN", Strategy: StrategyFlip,
+		Pair: Pair{A: "true", B: "false"}}
+	asn := g.AssignFor(in, &pre.Report)
+
+	if asn.Hetero[agent.Key{NodeType: "DN", NodeIndex: 0, Param: "a.bool"}] != "true" ||
+		asn.Hetero[agent.Key{NodeType: "DN", NodeIndex: 1, Param: "a.bool"}] != "true" {
+		t.Fatalf("flip group values wrong: %v", asn.Hetero)
+	}
+	if asn.Hetero[agent.Key{NodeType: "NN", NodeIndex: 0, Param: "a.bool"}] != "false" ||
+		asn.Hetero[agent.Key{NodeType: agent.UnitTestEntity, NodeIndex: 0, Param: "a.bool"}] != "false" {
+		t.Fatalf("flip other-entity values wrong: %v", asn.Hetero)
+	}
+
+	// Reversed swaps the sides.
+	in.Reversed = true
+	asn = g.AssignFor(in, &pre.Report)
+	if asn.Hetero[agent.Key{NodeType: "DN", NodeIndex: 0, Param: "a.bool"}] != "false" {
+		t.Fatalf("reversed flip wrong: %v", asn.Hetero)
+	}
+
+	// Homogeneous arms are uniform.
+	for _, v := range asn.Homo[0] {
+		if v != "true" {
+			t.Fatalf("homo arm A not uniform: %v", asn.Homo[0])
+		}
+	}
+	for _, v := range asn.Homo[1] {
+		if v != "false" {
+			t.Fatalf("homo arm B not uniform: %v", asn.Homo[1])
+		}
+	}
+}
+
+func TestAssignForRoundRobin(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"DN": 2},
+		map[string][]string{"DN": {"a.bool"}}, nil)
+	in := Instance{Test: "T", Param: "a.bool", Group: "DN", Strategy: StrategyRoundRobin,
+		Pair: Pair{A: "true", B: "false"}}
+	asn := g.AssignFor(in, &pre.Report)
+	if asn.Hetero[agent.Key{NodeType: "DN", NodeIndex: 0, Param: "a.bool"}] != "true" ||
+		asn.Hetero[agent.Key{NodeType: "DN", NodeIndex: 1, Param: "a.bool"}] != "false" {
+		t.Fatalf("round robin alternation wrong: %v", asn.Hetero)
+	}
+}
+
+func TestDependencyRulesApplied(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1},
+		map[string][]string{"NN": {"d.dep"}}, nil)
+	in := Instance{Test: "T", Param: "d.dep", Group: "NN", Strategy: StrategyFlip,
+		Pair: Pair{A: "https", B: "http"}}
+	asn := g.AssignFor(in, &pre.Report)
+	if asn.Hetero[agent.Key{NodeType: "NN", NodeIndex: 0, Param: "d.addr"}] != "secure-host" {
+		t.Fatalf("dependency rule not applied on the https side: %v", asn.Hetero)
+	}
+	if _, set := asn.Hetero[agent.Key{NodeType: agent.UnitTestEntity, NodeIndex: 0, Param: "d.addr"}]; set {
+		t.Fatalf("dependency applied where the trigger value was not assigned: %v", asn.Hetero)
+	}
+}
+
+func TestBuildPoolsPartition(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1, "DN": 2},
+		map[string][]string{"NN": {"a.bool", "b.int", "c.enum"}, "DN": {"a.bool"}}, nil)
+	insts := g.Instances(pre, InstancesOptions{})
+	pools := BuildPools("T", insts, 0)
+
+	seen := make(map[string]int)
+	for _, p := range pools {
+		params := make(map[string]bool)
+		for _, in := range p.Members {
+			if params[in.Param] {
+				t.Fatalf("pool holds two instances of %s", in.Param)
+			}
+			params[in.Param] = true
+			seen[in.String()]++
+		}
+	}
+	if len(seen) != len(insts) {
+		t.Fatalf("pools cover %d instances, want %d", len(seen), len(insts))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("instance %s appears %d times", k, n)
+		}
+	}
+}
+
+func TestBuildPoolsMaxSize(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1},
+		map[string][]string{"NN": {"a.bool", "b.int", "c.enum", "d.dep"}}, nil)
+	insts := g.Instances(pre, InstancesOptions{})
+	for _, p := range BuildPools("T", insts, 2) {
+		if len(p.Members) > 2 {
+			t.Fatalf("pool exceeds max size: %d members", len(p.Members))
+		}
+	}
+}
+
+func TestPoolSplitAndMergedAssignment(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pre := preRunWith(map[string]int{"NN": 1},
+		map[string][]string{"NN": {"a.bool", "b.int"}}, nil)
+	insts := g.Instances(pre, InstancesOptions{})
+	pools := BuildPools("T", insts, 0)
+	if len(pools) == 0 || len(pools[0].Members) != 2 {
+		t.Fatalf("unexpected pool shape: %v", pools)
+	}
+	asn := pools[0].Assignment(g, &pre.Report)
+	foundA, foundB := false, false
+	for k := range asn.Hetero {
+		switch k.Param {
+		case "a.bool":
+			foundA = true
+		case "b.int":
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Fatalf("merged assignment misses a member: %v", asn.Hetero)
+	}
+	l, r := pools[0].Split()
+	if len(l.Members)+len(r.Members) != len(pools[0].Members) {
+		t.Fatal("split lost members")
+	}
+}
+
+func TestCountsMonotonic(t *testing.T) {
+	t.Parallel()
+	g := New(testSchema())
+	pres := []PreRun{
+		preRunWith(map[string]int{"NN": 1, "DN": 2},
+			map[string][]string{"NN": {"a.bool", "b.int"}, "DN": {"c.enum"}},
+			[]string{"b.int"}),
+		preRunWith(nil, nil, nil), // node-less test
+	}
+	orig := g.OriginalCount(len(pres), []string{"NN", "DN"})
+	afterPre := g.CountAfterPreRun(pres)
+	afterUnc := g.CountAfterUncertainty(pres)
+	if !(orig >= afterPre && afterPre >= afterUnc && afterUnc > 0) {
+		t.Fatalf("reduction not monotonic: %d >= %d >= %d", orig, afterPre, afterUnc)
+	}
+}
+
+// Property: every pool built from arbitrary slot sizes partitions its
+// input (no instance lost or duplicated, no duplicate params per pool).
+func TestBuildPoolsPartitionProperty(t *testing.T) {
+	t.Parallel()
+	fn := func(sizes []uint8) bool {
+		var insts []Instance
+		for p, n := range sizes {
+			cnt := int(n%5) + 1
+			for i := 0; i < cnt; i++ {
+				insts = append(insts, Instance{
+					Test:  "T",
+					Param: "param" + string(rune('a'+p%26)) + string(rune('0'+p/26)),
+					Group: "G", Strategy: StrategyFlip,
+					Pair: Pair{A: "1", B: "2"}, Reversed: i%2 == 1,
+				})
+			}
+		}
+		total := 0
+		for _, pool := range BuildPools("T", insts, 0) {
+			params := map[string]bool{}
+			for _, in := range pool.Members {
+				if params[in.Param] {
+					return false
+				}
+				params[in.Param] = true
+			}
+			total += len(pool.Members)
+		}
+		return total == len(insts)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

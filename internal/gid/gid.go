@@ -1,0 +1,128 @@
+// Package gid provides goroutine identity and ownership propagation.
+//
+// ZebraConf's ConfAgent must answer the question "which node's code is
+// executing on the calling thread?" (paper §6.1). Java ZebraConf keys its
+// threadContext by thread ID; the Go port keys it by goroutine ID. Go
+// deliberately hides goroutine IDs, so ID returns the number the runtime
+// prints in stack traces, parsed from runtime.Stack. This is the standard
+// technique for diagnostics-grade goroutine identity; it is not used for
+// correctness-critical synchronization, only to reproduce the paper's
+// thread-to-node bookkeeping.
+//
+// The package also provides Registry, a concurrency-safe map from goroutine
+// ID to an arbitrary owner value, and Go, an instrumented spawn helper that
+// snapshots the spawner's owner into the child at spawn time. This mirrors
+// the paper's rule "if thread A creates thread B, A and B belong to the same
+// node" (§6.1, attempt 3), restricted to spawns that happen while an owner is
+// set — e.g. worker goroutines started inside a node's init function.
+package gid
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// ID returns the current goroutine's ID as printed by the Go runtime in
+// stack traces ("goroutine N [running]:").
+func ID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	return parseGoroutineID(buf[:n])
+}
+
+// parseGoroutineID extracts N from a stack trace beginning
+// "goroutine N [". It returns 0 if the header is malformed, which the Go
+// runtime never produces in practice.
+func parseGoroutineID(stack []byte) uint64 {
+	const prefix = "goroutine "
+	if !bytes.HasPrefix(stack, []byte(prefix)) {
+		return 0
+	}
+	stack = stack[len(prefix):]
+	end := bytes.IndexByte(stack, ' ')
+	if end < 0 {
+		return 0
+	}
+	id, err := strconv.ParseUint(string(stack[:end]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// Registry maps goroutine IDs to an owner value. The zero value is not
+// usable; create one with NewRegistry.
+//
+// Entries must be removed by the code that set them (Clear, or the cleanup
+// performed by Go); the registry does not observe goroutine exit.
+type Registry[T any] struct {
+	mu sync.RWMutex
+	m  map[uint64]T
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[T any]() *Registry[T] {
+	return &Registry[T]{m: make(map[uint64]T)}
+}
+
+// Set associates owner with the current goroutine.
+func (r *Registry[T]) Set(owner T) {
+	r.SetFor(ID(), owner)
+}
+
+// SetFor associates owner with goroutine g.
+func (r *Registry[T]) SetFor(g uint64, owner T) {
+	r.mu.Lock()
+	r.m[g] = owner
+	r.mu.Unlock()
+}
+
+// Get returns the owner associated with the current goroutine.
+func (r *Registry[T]) Get() (T, bool) {
+	return r.GetFor(ID())
+}
+
+// GetFor returns the owner associated with goroutine g.
+func (r *Registry[T]) GetFor(g uint64) (T, bool) {
+	r.mu.RLock()
+	owner, ok := r.m[g]
+	r.mu.RUnlock()
+	return owner, ok
+}
+
+// Clear removes the current goroutine's association.
+func (r *Registry[T]) Clear() {
+	r.ClearFor(ID())
+}
+
+// ClearFor removes goroutine g's association.
+func (r *Registry[T]) ClearFor(g uint64) {
+	r.mu.Lock()
+	delete(r.m, g)
+	r.mu.Unlock()
+}
+
+// Len reports the number of goroutines currently registered.
+func (r *Registry[T]) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Go runs fn on a new goroutine. If the spawning goroutine has an owner in r
+// at the moment of the call, the child inherits it for the duration of fn;
+// the association is removed when fn returns. This reproduces the paper's
+// thread-inheritance rule for worker threads started during node
+// initialization.
+func (r *Registry[T]) Go(fn func()) {
+	owner, ok := r.Get()
+	go func() {
+		if ok {
+			r.Set(owner)
+			defer r.Clear()
+		}
+		fn()
+	}()
+}

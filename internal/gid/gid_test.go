@@ -1,0 +1,169 @@
+package gid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDStableWithinGoroutine(t *testing.T) {
+	t.Parallel()
+	if ID() == 0 {
+		t.Fatal("ID() returned 0")
+	}
+	if ID() != ID() {
+		t.Fatal("ID() not stable within one goroutine")
+	}
+}
+
+func TestIDDistinctAcrossGoroutines(t *testing.T) {
+	t.Parallel()
+	mine := ID()
+	ch := make(chan uint64, 1)
+	go func() { ch <- ID() }()
+	if other := <-ch; other == mine {
+		t.Fatalf("two goroutines share ID %d", mine)
+	}
+}
+
+func TestParseGoroutineID(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"goroutine 1 [running]:", 1},
+		{"goroutine 4711 [select]:", 4711},
+		{"goroutine  [running]:", 0},
+		{"not a stack", 0},
+		{"goroutine x [running]:", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := parseGoroutineID([]byte(c.in)); got != c.want {
+			t.Errorf("parseGoroutineID(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegistrySetGetClear(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[string]()
+	if _, ok := r.Get(); ok {
+		t.Fatal("empty registry returned a value")
+	}
+	r.Set("owner")
+	if v, ok := r.Get(); !ok || v != "owner" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Clear()
+	if _, ok := r.Get(); ok {
+		t.Fatal("value survived Clear")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", r.Len())
+	}
+}
+
+func TestRegistryGoInheritsOwner(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[int]()
+	r.Set(42)
+	defer r.Clear()
+
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	r.Go(func() {
+		defer wg.Done()
+		v, ok := r.Get()
+		if !ok {
+			v = -1
+		}
+		got <- v
+	})
+	wg.Wait()
+	if v := <-got; v != 42 {
+		t.Fatalf("child inherited %d, want 42", v)
+	}
+}
+
+func TestRegistryGoWithoutOwner(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[int]()
+	got := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	r.Go(func() {
+		defer wg.Done()
+		_, ok := r.Get()
+		got <- ok
+	})
+	wg.Wait()
+	if <-got {
+		t.Fatal("child has an owner although the parent had none")
+	}
+}
+
+func TestRegistryGoCleansUp(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[int]()
+	r.Set(7)
+	defer r.Clear()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	r.Go(func() { wg.Done() })
+	wg.Wait()
+	// The child's entry is removed once fn returns; only ours remains.
+	// The removal happens in a defer that may race this check by a hair,
+	// so allow a brief settle via a second spawn barrier.
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	r.Go(func() { wg2.Done() })
+	wg2.Wait()
+	if n := r.Len(); n > 2 {
+		t.Fatalf("registry leaked entries: %d", n)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[uint64]()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Set(ID())
+			if v, ok := r.Get(); !ok || v != ID() {
+				t.Errorf("concurrent Get = (%d, %v), want own ID", v, ok)
+			}
+			r.Clear()
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("registry not empty after concurrent use: %d", r.Len())
+	}
+}
+
+// Property: SetFor/GetFor round-trips arbitrary (gid, value) pairs.
+func TestRegistryRoundTripProperty(t *testing.T) {
+	t.Parallel()
+	r := NewRegistry[int64]()
+	fn := func(g uint64, v int64) bool {
+		if g == 0 {
+			g = 1
+		}
+		r.SetFor(g, v)
+		got, ok := r.GetFor(g)
+		r.ClearFor(g)
+		return ok && got == v
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

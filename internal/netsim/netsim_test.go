@@ -1,0 +1,159 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zebraconf/internal/simtime"
+)
+
+func testScale() *simtime.Scale {
+	return &simtime.Scale{Tick: 100 * time.Microsecond}
+}
+
+func TestUnlimitedNeverBlocks(t *testing.T) {
+	t.Parallel()
+	th := NewThrottler(testScale(), 0)
+	done := make(chan struct{})
+	go func() {
+		th.Acquire(1 << 40)
+		th.AcquireCritical(1 << 40)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("unlimited throttler blocked")
+	}
+}
+
+func TestRatePacing(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 10) // 10 bytes/tick
+	w := simtime.NewStopwatch(scale)
+	th.Acquire(500) // should take ~50 ticks
+	elapsed := w.ElapsedTicks()
+	if elapsed < 40 || elapsed > 200 {
+		t.Fatalf("Acquire(500) at 10 B/tick took %d ticks, want ~50", elapsed)
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 10)
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		th.Acquire(1000) // ~100 ticks
+		mu.Lock()
+		order = append(order, "big")
+		mu.Unlock()
+	}()
+	scale.Sleep(10) // let the big acquire join first
+	go func() {
+		defer wg.Done()
+		th.Acquire(16) // tiny, but behind the big one
+		mu.Lock()
+		order = append(order, "small")
+		mu.Unlock()
+	}()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "big" {
+		t.Fatalf("completion order %v, want the big acquire first (FIFO)", order)
+	}
+}
+
+func TestCriticalReserveBypassesQueue(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 10)
+	th.ReserveCriticalFraction(0.2)
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		th.Acquire(5000) // occupies the shared queue for ~500+ ticks
+	}()
+	<-started
+	scale.Sleep(5)
+	w := simtime.NewStopwatch(scale)
+	th.AcquireCritical(16) // reserved budget: ~16/2 = 8 ticks
+	if elapsed := w.ElapsedTicks(); elapsed > 100 {
+		t.Fatalf("critical acquire waited %d ticks behind the shared queue", elapsed)
+	}
+}
+
+func TestCriticalWithoutReserveJoinsQueue(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 10)
+
+	go th.Acquire(2000) // ~200 ticks of head-of-line blocking
+	scale.Sleep(10)
+	w := simtime.NewStopwatch(scale)
+	th.AcquireCritical(16)
+	if elapsed := w.ElapsedTicks(); elapsed < 100 {
+		t.Fatalf("critical acquire without a reserve finished in %d ticks; it must queue (the paper's bug)", elapsed)
+	}
+}
+
+func TestSetRateReconfigures(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 1)
+	th.SetRate(1000)
+	if th.Rate() != 1000 {
+		t.Fatalf("Rate = %d", th.Rate())
+	}
+	w := simtime.NewStopwatch(scale)
+	th.Acquire(1000) // 1 tick at the new rate
+	if elapsed := w.ElapsedTicks(); elapsed > 50 {
+		t.Fatalf("acquire after rate increase took %d ticks", elapsed)
+	}
+	th.SetRate(-5)
+	if th.Rate() != 0 {
+		t.Fatalf("negative rate not clamped to unlimited: %d", th.Rate())
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	t.Parallel()
+	scale := testScale()
+	th := NewThrottler(scale, 10)
+	if !th.TryAcquire(0) {
+		t.Fatal("TryAcquire(0) = false")
+	}
+	if !th.TryAcquire(50) {
+		t.Fatal("first TryAcquire on an idle link = false")
+	}
+	// The link is now busy for ~5 ticks; an immediate retry must fail.
+	if th.TryAcquire(50) {
+		t.Fatal("TryAcquire succeeded while the link was busy")
+	}
+	scale.Sleep(20)
+	if !th.TryAcquire(10) {
+		t.Fatal("TryAcquire failed after the link drained")
+	}
+}
+
+func TestDurationTicksRounding(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ n, rate, want int64 }{
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{100, 3, 34},
+	}
+	for _, c := range cases {
+		if got := durationTicks(c.n, c.rate); got != c.want {
+			t.Errorf("durationTicks(%d, %d) = %d, want %d", c.n, c.rate, got, c.want)
+		}
+	}
+}

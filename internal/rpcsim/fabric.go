@@ -1,0 +1,227 @@
+package rpcsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zebraconf/internal/simtime"
+)
+
+// Fabric is an in-memory network: a registry of named endpoints. Each unit
+// test environment gets its own fabric, so campaign tests can run
+// concurrently in one process.
+type Fabric struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Server
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{endpoints: make(map[string]*Server)}
+}
+
+// Handler serves one RPC method call. The payload is the decoded plaintext
+// request; the returned bytes are the plaintext response. A returned error
+// reaches the client as a call error (an application-level RPC fault).
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Server is one listening endpoint.
+type Server struct {
+	fabric  *Fabric
+	addr    string
+	sec     Security
+	scale   *simtime.Scale
+	handler Handler
+
+	pingTicks  atomic.Int64 // keepalive interval during in-flight calls
+	delayTicks atomic.Int64 // artificial processing delay
+	closed     atomic.Bool
+}
+
+// Serve registers a new endpoint at addr. It fails if addr is taken.
+func (f *Fabric) Serve(addr string, sec Security, scale *simtime.Scale, h Handler) (*Server, error) {
+	s := &Server{fabric: f, addr: addr, sec: sec, scale: scale, handler: h}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, taken := f.endpoints[addr]; taken {
+		return nil, fmt.Errorf("rpcsim: address %q already bound", addr)
+	}
+	f.endpoints[addr] = s
+	return s, nil
+}
+
+// lookup resolves addr to a live server.
+func (f *Fabric) lookup(addr string) (*Server, bool) {
+	f.mu.RLock()
+	s, ok := f.endpoints[addr]
+	f.mu.RUnlock()
+	if !ok || s.closed.Load() {
+		return nil, false
+	}
+	return s, true
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.addr }
+
+// Close unbinds the endpoint; subsequent dials and calls fail with
+// ErrUnreachable.
+func (s *Server) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.fabric.mu.Lock()
+		if s.fabric.endpoints[s.addr] == s {
+			delete(s.fabric.endpoints, s.addr)
+		}
+		s.fabric.mu.Unlock()
+	}
+}
+
+// SetPingTicks sets the keepalive ping interval the server emits while a
+// call is being processed (the Hadoop IPC ping analog). Zero disables pings.
+func (s *Server) SetPingTicks(n int64) { s.pingTicks.Store(n) }
+
+// SetDelayTicks injects fixed processing latency before each handler call.
+func (s *Server) SetDelayTicks(n int64) { s.delayTicks.Store(n) }
+
+// Conn is a dialed connection. It is safe for concurrent calls.
+type Conn struct {
+	srv          *Server
+	sec          Security
+	scale        *simtime.Scale
+	timeoutTicks atomic.Int64
+}
+
+// Dial performs the handshake with addr using the client security profile.
+// Handshake failures mirror the paper's findings: protection-level skew
+// ("Sasl handshake fails"), protocol-version skew, and block-access-token
+// skew ("DataNode fails to register block pools").
+func (f *Fabric) Dial(addr string, sec Security, scale *simtime.Scale) (*Conn, error) {
+	s, ok := f.lookup(addr)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	if s.sec.Protection != sec.Protection {
+		return nil, fmt.Errorf("%w: rpc protection %q (client) vs %q (server %s)",
+			ErrHandshake, sec.Protection, s.sec.Protection, addr)
+	}
+	if s.sec.Version != sec.Version {
+		return nil, fmt.Errorf("%w: protocol version %d (client) vs %d (server %s)",
+			ErrHandshake, sec.Version, s.sec.Version, addr)
+	}
+	if s.sec.RequireToken != sec.RequireToken {
+		return nil, fmt.Errorf("%w: access token required=%v (server %s) vs %v (client)",
+			ErrHandshake, s.sec.RequireToken, addr, sec.RequireToken)
+	}
+	return &Conn{srv: s, sec: sec, scale: scale}, nil
+}
+
+// SetTimeoutTicks bounds each call; zero means no timeout.
+func (c *Conn) SetTimeoutTicks(n int64) { c.timeoutTicks.Store(n) }
+
+// Call invokes method on the server. The request is encoded with the
+// client's security profile and decoded with the server's (and vice versa
+// for the response), so any encryption/compression skew fails exactly at
+// the decode step of the mismatched side. While the handler runs, the
+// server emits keepalive pings every pingTicks; the client resets its
+// timeout on each ping, modeling Hadoop IPC's ping mechanism.
+func (c *Conn) Call(method string, payload []byte) ([]byte, error) {
+	s := c.srv
+	if s.closed.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, s.addr)
+	}
+	wire, err := Encode(c.sec, payload)
+	if err != nil {
+		return nil, fmt.Errorf("rpcsim: encode request: %w", err)
+	}
+	req, err := Decode(s.sec, wire)
+	if err != nil {
+		return nil, fmt.Errorf("server %s rejected request: %w", s.addr, err)
+	}
+
+	type result struct {
+		data []byte
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		if d := s.delayTicks.Load(); d > 0 {
+			s.scale.Sleep(d)
+		}
+		data, err := s.handler(method, req)
+		resCh <- result{data: data, err: err}
+	}()
+
+	var pingCh <-chan time.Time
+	if pt := s.pingTicks.Load(); pt > 0 {
+		t := s.scale.Ticker(pt)
+		defer t.Stop()
+		pingCh = t.C
+	}
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	tout := c.timeoutTicks.Load()
+	if tout > 0 {
+		timer = c.scale.Timer(tout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+
+	for {
+		select {
+		case r := <-resCh:
+			if r.err != nil {
+				return nil, r.err
+			}
+			respWire, err := Encode(s.sec, r.data)
+			if err != nil {
+				return nil, fmt.Errorf("server %s: encode response: %w", s.addr, err)
+			}
+			resp, err := Decode(c.sec, respWire)
+			if err != nil {
+				return nil, fmt.Errorf("decode response from %s: %w", s.addr, err)
+			}
+			return resp, nil
+		case <-pingCh:
+			if timer != nil {
+				timer.Reset(c.scale.Dur(tout))
+			}
+		case <-timeoutCh:
+			// A keepalive that arrived during the same scheduling window
+			// must win over the timeout — a real socket with pending bytes
+			// does not time out. Drain it and keep waiting.
+			select {
+			case <-pingCh:
+				if timer != nil {
+					timer.Reset(c.scale.Dur(tout))
+				}
+				continue
+			default:
+			}
+			select {
+			case r := <-resCh:
+				if r.err != nil {
+					return nil, r.err
+				}
+				respWire, err := Encode(s.sec, r.data)
+				if err != nil {
+					return nil, fmt.Errorf("server %s: encode response: %w", s.addr, err)
+				}
+				resp, err := Decode(c.sec, respWire)
+				if err != nil {
+					return nil, fmt.Errorf("decode response from %s: %w", s.addr, err)
+				}
+				return resp, nil
+			default:
+			}
+			return nil, fmt.Errorf("%w: %s.%s after %d ticks", ErrTimeout, s.addr, method, tout)
+		}
+	}
+}
+
+// CallJSON is a convenience for JSON-encoded request/response structs; see
+// MarshalCall in the apps.
+func (c *Conn) CallJSON(method string, req, resp any) error {
+	return callJSON(c, method, req, resp)
+}

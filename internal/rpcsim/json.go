@@ -1,0 +1,51 @@
+package rpcsim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// callJSON marshals req, performs the call, and unmarshals into resp.
+// A nil resp discards the response body.
+func callJSON(c *Conn, method string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpcsim: marshal %s request: %w", method, err)
+	}
+	out, err := c.Call(method, body)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := json.Unmarshal(out, resp); err != nil {
+		return fmt.Errorf("rpcsim: unmarshal %s response: %w", method, err)
+	}
+	return nil
+}
+
+// JSONHandler adapts a map of typed JSON handlers into a Handler. Methods
+// not present return an error to the caller.
+func JSONHandler(methods map[string]func(payload []byte) (any, error)) Handler {
+	return func(method string, payload []byte) ([]byte, error) {
+		fn, ok := methods[method]
+		if !ok {
+			return nil, fmt.Errorf("rpcsim: unknown method %q", method)
+		}
+		out, err := fn(payload)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	}
+}
+
+// Unmarshal decodes a JSON request payload into v, wrapping errors with the
+// method name for diagnosis.
+func Unmarshal(method string, payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("rpcsim: bad %s request: %w", method, err)
+	}
+	return nil
+}

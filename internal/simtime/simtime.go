@@ -1,0 +1,105 @@
+// Package simtime scales abstract configuration time units ("ticks") to real
+// durations.
+//
+// The paper's experiments run against real clusters where heartbeat
+// intervals are seconds and balancer timeouts are 100 s. Reproducing those
+// orderings with wall-clock seconds would make a campaign of thousands of
+// unit-test executions take days, so every duration-valued configuration
+// parameter in the mini applications is expressed in integer ticks, and each
+// test environment carries a Scale that maps ticks to (small) real
+// durations. Ratios and orderings — which is what the heterogeneous-unsafety
+// results depend on — are preserved exactly; only the absolute wall-clock
+// scale changes. See DESIGN.md §1.
+package simtime
+
+import "time"
+
+// DefaultTick is the tick duration used when a Scale is zero-valued or nil.
+// 100 µs keeps a 1100-tick congestion backoff (the HDFS balancer constant)
+// at 110 ms of real time.
+const DefaultTick = 100 * time.Microsecond
+
+// Scale maps abstract ticks to real durations. The zero value uses
+// DefaultTick, so a Scale is ready to use without construction.
+type Scale struct {
+	// Tick is the real duration of one tick. Zero means DefaultTick.
+	Tick time.Duration
+}
+
+// tick returns the effective tick duration.
+func (s *Scale) tick() time.Duration {
+	if s == nil || s.Tick <= 0 {
+		return DefaultTick
+	}
+	return s.Tick
+}
+
+// Dur converts ticks to a real duration. Negative tick counts yield zero.
+func (s *Scale) Dur(ticks int64) time.Duration {
+	if ticks <= 0 {
+		return 0
+	}
+	return time.Duration(ticks) * s.tick()
+}
+
+// Sleep blocks for ticks scaled ticks.
+func (s *Scale) Sleep(ticks int64) {
+	if d := s.Dur(ticks); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After returns a channel that fires after ticks scaled ticks, like
+// time.After.
+func (s *Scale) After(ticks int64) <-chan time.Time {
+	return time.After(s.Dur(ticks))
+}
+
+// Timer returns a real-time timer set to ticks scaled ticks.
+func (s *Scale) Timer(ticks int64) *time.Timer {
+	return time.NewTimer(s.Dur(ticks))
+}
+
+// Ticker returns a real-time ticker firing every ticks scaled ticks.
+// A non-positive tick count is clamped to one tick, since time.NewTicker
+// panics on non-positive intervals.
+func (s *Scale) Ticker(ticks int64) *time.Ticker {
+	if ticks <= 0 {
+		ticks = 1
+	}
+	return time.NewTicker(s.Dur(ticks))
+}
+
+// Now returns the current wall-clock time expressed in ticks since an
+// arbitrary epoch. It is monotonic within a process.
+func (s *Scale) Now() int64 {
+	return int64(time.Since(epoch) / s.tick())
+}
+
+// Since reports the ticks elapsed since a Now value.
+func (s *Scale) Since(start int64) int64 {
+	return s.Now() - start
+}
+
+var epoch = time.Now()
+
+// Stopwatch measures elapsed scaled ticks.
+type Stopwatch struct {
+	scale *Scale
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on scale.
+func NewStopwatch(scale *Scale) *Stopwatch {
+	return &Stopwatch{scale: scale, start: time.Now()}
+}
+
+// ElapsedTicks returns ticks elapsed since the stopwatch started.
+func (w *Stopwatch) ElapsedTicks() int64 {
+	return int64(time.Since(w.start) / w.scale.tick())
+}
+
+// Elapsed returns the real elapsed duration.
+func (w *Stopwatch) Elapsed() time.Duration {
+	return time.Since(w.start)
+}

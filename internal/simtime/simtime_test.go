@@ -1,0 +1,102 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroScaleUsesDefault(t *testing.T) {
+	t.Parallel()
+	var s Scale
+	if got := s.Dur(1); got != DefaultTick {
+		t.Fatalf("Dur(1) = %v, want %v", got, DefaultTick)
+	}
+	var nilScale *Scale
+	if got := nilScale.Dur(2); got != 2*DefaultTick {
+		t.Fatalf("nil scale Dur(2) = %v, want %v", got, 2*DefaultTick)
+	}
+}
+
+func TestDurNegativeAndZero(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Millisecond}
+	if s.Dur(0) != 0 || s.Dur(-5) != 0 {
+		t.Fatal("non-positive ticks must yield zero duration")
+	}
+	if got := s.Dur(3); got != 3*time.Millisecond {
+		t.Fatalf("Dur(3) = %v", got)
+	}
+}
+
+func TestSleepElapses(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Millisecond}
+	start := time.Now()
+	s.Sleep(5)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("Sleep(5) returned after %v", elapsed)
+	}
+}
+
+func TestAfterFires(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Millisecond}
+	select {
+	case <-s.After(1):
+	case <-time.After(time.Second):
+		t.Fatal("After(1) never fired")
+	}
+}
+
+func TestTickerClampsNonPositive(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Millisecond}
+	tk := s.Ticker(0) // must not panic
+	defer tk.Stop()
+	select {
+	case <-tk.C:
+	case <-time.After(time.Second):
+		t.Fatal("clamped ticker never ticked")
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: 100 * time.Microsecond}
+	a := s.Now()
+	s.Sleep(5)
+	b := s.Now()
+	if b < a+3 {
+		t.Fatalf("Now went from %d to %d across a 5-tick sleep", a, b)
+	}
+	if s.Since(a) < 3 {
+		t.Fatalf("Since(a) = %d", s.Since(a))
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Millisecond}
+	w := NewStopwatch(s)
+	s.Sleep(4)
+	if ticks := w.ElapsedTicks(); ticks < 3 {
+		t.Fatalf("ElapsedTicks = %d after a 4-tick sleep", ticks)
+	}
+	if w.Elapsed() <= 0 {
+		t.Fatal("Elapsed not positive")
+	}
+}
+
+// Property: Dur is linear in positive tick counts.
+func TestDurLinearityProperty(t *testing.T) {
+	t.Parallel()
+	s := &Scale{Tick: time.Microsecond}
+	fn := func(a, b uint16) bool {
+		ta, tb := int64(a), int64(b)
+		return s.Dur(ta)+s.Dur(tb) == s.Dur(ta+tb)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
