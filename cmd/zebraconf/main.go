@@ -8,6 +8,7 @@
 //	zebraconf -mode run -app minihdfs          # full campaign on one app
 //	zebraconf -mode run -app all -json out.json
 //	zebraconf -mode run -app miniyarn -params yarn.http.policy -tests TestTimelineQuery
+//	zebraconf -mode run -app minihdfs -trace /tmp/t.jsonl -metrics /tmp/m.prom -progress
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"zebraconf/internal/apps"
 	"zebraconf/internal/confkit"
@@ -23,6 +25,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
+	"zebraconf/internal/obs"
 )
 
 func main() {
@@ -37,8 +40,55 @@ func main() {
 		noGate     = flag.Bool("no-gate", false, "disable first-trial gating (ablation)")
 		threadOnly = flag.Bool("thread-only", false, "use thread-based read attribution (the paper's failed attempt #3)")
 		maxPool    = flag.Int("max-pool", 0, "max parameters per pool (0 = unbounded)")
+		traceOut   = flag.String("trace", "", "write JSONL trace spans to this file")
+		metricsOut = flag.String("metrics", "", "write Prometheus text metrics to this file at exit")
+		progress   = flag.Bool("progress", false, "render live campaign progress to stderr")
+		httpAddr   = flag.String("http", "", "serve /metrics, expvar, and pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// Observability is assembled only when asked for; a nil Observer
+	// keeps every instrumented path on its no-op branch.
+	var observer *obs.Observer
+	if *traceOut != "" || *metricsOut != "" || *progress || *httpAddr != "" {
+		observer = obs.New()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			observer.Tracer = obs.NewTracer(f)
+		}
+		if *progress {
+			observer.Progress = obs.NewProgress(os.Stderr, 2*time.Second)
+		}
+		if *httpAddr != "" {
+			addr, shutdown, err := obs.ServeDebug(*httpAddr, observer.Metrics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "[zebraconf] debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+		}
+		if *metricsOut != "" {
+			// Create eagerly so a bad path fails before the campaign,
+			// not after it has run for minutes.
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer func() {
+				if err := observer.Metrics.WritePrometheus(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+				f.Close()
+			}()
+		}
+	}
 
 	var selected []*harness.App
 	if *appName == "all" {
@@ -91,6 +141,7 @@ func main() {
 			DisableGate:    *noGate,
 			Params:         splitList(*params),
 			Tests:          splitList(*tests),
+			Obs:            observer,
 		}
 		if *threadOnly {
 			opts.Strategy = agent.StrategyThreadOnly

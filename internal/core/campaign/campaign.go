@@ -16,6 +16,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/testgen"
+	"zebraconf/internal/obs"
 )
 
 // Options tunes a campaign.
@@ -46,6 +47,10 @@ type Options struct {
 	// Significance and MaxRounds pass through to the TestRunner.
 	Significance float64
 	MaxRounds    int
+	// Obs receives metrics, trace spans, and progress updates for the
+	// whole campaign; nil (the default) disables observability with only
+	// a nil-check of overhead on the instrumented paths.
+	Obs *obs.Observer
 }
 
 // ParamReport is the campaign's verdict for one reported parameter.
@@ -84,6 +89,12 @@ type Result struct {
 	FirstTrialSignals    int
 	FilteredByHypothesis int
 	HomoInvalid          int
+
+	// SkippedTests lists pre-run tests that could not be resolved again
+	// in phase 2 (a registration inconsistency); they produced no
+	// instances and the report surfaces them instead of silently
+	// dropping them.
+	SkippedTests []string
 
 	// Mapping statistics (§6.2).
 	ConfUsingTests int
@@ -136,15 +147,39 @@ func Run(app *harness.App, opts Options) *Result {
 		MaxRounds:    opts.MaxRounds,
 		DisableGate:  opts.DisableGate,
 		Strategy:     opts.Strategy,
+		Obs:          opts.Obs,
 	})
 
 	tests := selectTests(app, opts.Tests)
 	res := &Result{App: app.Name, NumTests: len(tests), NumParams: schema.Len()}
 
+	o := opts.Obs
+	o.ProgressBegin(app.Name)
+	defer o.ProgressFinish()
+	campSpan := o.StartSpan("campaign", obs.NoSpan,
+		obs.String("app", app.Name),
+		obs.Int("tests", int64(len(tests))),
+		obs.Int("params", int64(schema.Len())))
+	defer campSpan.End()
+	// phase opens a child span and times the phase into MPhaseSeconds;
+	// call the returned func when the phase ends.
+	phase := func(name string) (obs.SpanID, func()) {
+		span := o.StartSpan("phase", campSpan.ID(),
+			obs.String("app", app.Name), obs.String("phase", name))
+		phaseStart := time.Now()
+		return span.ID(), func() {
+			o.Observe(obs.MPhaseSeconds, time.Since(phaseStart).Seconds(),
+				"app", app.Name, "phase", name)
+			span.End()
+		}
+	}
+
 	// Phase 1: pre-run (paper §4).
-	res.PreRuns = parallelMap(opts.Parallelism, tests, func(t *harness.UnitTest) testgen.PreRun {
+	_, endPhase := phase("prerun")
+	res.PreRuns = parallelMap(opts.Parallelism, o, app.Name, "prerun", tests, func(t *harness.UnitTest) testgen.PreRun {
 		return run.PreRun(t)
 	})
+	endPhase()
 	for _, pre := range res.PreRuns {
 		if pre.Report.UsedConf {
 			res.ConfUsingTests++
@@ -188,6 +223,9 @@ func Run(app *harness.App, opts Options) *Result {
 			ps.example = r.HeteroMsg
 		}
 		if len(ps.tests) >= opts.QuarantineThreshold {
+			if len(ps.tests) == opts.QuarantineThreshold {
+				o.CounterAdd(obs.MQuarantine, 1, "app", app.Name)
+			}
 			gen.Quarantine(inst.Param)
 		}
 	}
@@ -205,9 +243,20 @@ func Run(app *harness.App, opts Options) *Result {
 		}
 	}
 
-	parallelMap(opts.Parallelism, res.PreRuns, func(pre testgen.PreRun) struct{} {
+	instancesSpan, endPhase := phase("instances")
+	markDone := func(n int) {
+		o.ProgressAddDone(int64(n))
+		o.GaugeAdd(obs.MInstancesDone, int64(n), "app", app.Name)
+	}
+	parallelMap(opts.Parallelism, o, app.Name, "instances", res.PreRuns, func(pre testgen.PreRun) struct{} {
 		test, err := app.Test(pre.Test)
 		if err != nil {
+			// A pre-run test that no longer resolves is a registration
+			// inconsistency; surface it instead of silently dropping it.
+			mu.Lock()
+			res.SkippedTests = append(res.SkippedTests, pre.Test)
+			mu.Unlock()
+			o.CounterAdd(obs.MSkippedTests, 1, "app", app.Name)
 			return struct{}{}
 		}
 		rep := pre.Report
@@ -220,16 +269,24 @@ func Run(app *harness.App, opts Options) *Result {
 			reachable[inst.Param] = true
 		}
 		mu.Unlock()
+		o.ProgressAddTotal(int64(len(instances)))
+		o.GaugeAdd(obs.MInstancesTotal, int64(len(instances)), "app", app.Name)
+		testSpan := o.StartSpan("test", instancesSpan,
+			obs.String("app", app.Name),
+			obs.String("test", pre.Test),
+			obs.Int("instances", int64(len(instances))))
+		defer testSpan.End()
 
 		// Within this test, skip further instances of a parameter already
 		// confirmed unsafe here.
 		confirmedHere := make(map[string]bool)
-		leaf := func(inst testgen.Instance) {
+		leaf := func(parent obs.SpanID, inst testgen.Instance) {
+			defer markDone(1)
 			if confirmedHere[inst.Param] || gen.Quarantined(inst.Param) {
 				return
 			}
 			asn := gen.AssignFor(inst, &rep)
-			r := run.RunAssignment(test, asn, inst.String())
+			r := run.RunAssignmentIn(parent, test, asn, inst.String())
 			countVerdict(r)
 			if r.Verdict == runner.VerdictUnsafe {
 				confirmedHere[inst.Param] = true
@@ -239,39 +296,57 @@ func Run(app *harness.App, opts Options) *Result {
 
 		if opts.DisablePooling {
 			for _, inst := range instances {
-				leaf(inst)
+				leaf(testSpan.ID(), inst)
 			}
 			return struct{}{}
 		}
 
-		var runPool func(p testgen.Pool)
-		runPool = func(p testgen.Pool) {
+		var runPool func(parent obs.SpanID, depth int, p testgen.Pool)
+		runPool = func(parent obs.SpanID, depth int, p testgen.Pool) {
+			before := len(p.Members)
 			p = p.FilterQuarantined(gen)
 			p = filterConfirmed(p, confirmedHere)
+			if dropped := before - len(p.Members); dropped > 0 {
+				markDone(dropped)
+			}
 			switch len(p.Members) {
 			case 0:
 				return
 			case 1:
-				leaf(p.Members[0])
+				leaf(parent, p.Members[0])
 				return
 			}
+			span := o.StartSpan("pool", parent,
+				obs.String("app", app.Name),
+				obs.String("test", p.Test),
+				obs.Int("size", int64(len(p.Members))),
+				obs.Int("depth", int64(depth)))
+			defer span.End()
 			asn := p.Assignment(gen, &rep)
-			if !run.RunPooled(test, asn, p.Test+"/pool") {
-				return // pooled heterogeneous run passed: all members cleared
+			if !run.RunPooledIn(span.ID(), test, asn, p.Test+"/pool") {
+				// Pooled heterogeneous run passed: all members cleared.
+				span.SetAttr(obs.Bool("cleared", true))
+				markDone(len(p.Members))
+				return
 			}
+			o.CounterAdd(obs.MPoolSplits, 1, "app", app.Name)
+			o.Observe(obs.MPoolDepth, float64(depth), "app", app.Name)
 			a, b := p.Split()
-			runPool(a)
-			runPool(b)
+			runPool(span.ID(), depth+1, a)
+			runPool(span.ID(), depth+1, b)
 		}
 		for _, pool := range testgen.BuildPools(pre.Test, instances, opts.MaxPool) {
-			runPool(pool)
+			runPool(testSpan.ID(), 0, pool)
 		}
 		return struct{}{}
 	})
+	endPhase()
 
 	res.Counts.Executed = run.Executions() - baseline
 
 	// Phase 3: verdicts and scoring.
+	_, endPhase = phase("scoring")
+	sort.Strings(res.SkippedTests)
 	for param, ps := range perParam {
 		p := schema.Lookup(param)
 		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example}
@@ -302,8 +377,13 @@ func Run(app *harness.App, opts Options) *Result {
 		}
 	}
 	sort.Strings(res.Missed)
+	endPhase()
 
 	res.Elapsed = time.Since(start)
+	campSpan.SetAttr(
+		obs.Int("reported", int64(len(res.Reported))),
+		obs.Int("executed", res.Counts.Executed),
+		obs.Int("skipped_tests", int64(len(res.SkippedTests))))
 	return res
 }
 
@@ -338,14 +418,23 @@ func selectTests(app *harness.App, names []string) []*harness.UnitTest {
 }
 
 // parallelMap runs fn over items with bounded parallelism, preserving
-// order.
-func parallelMap[I any, O any](parallelism int, items []I, fn func(I) O) []O {
+// order. When o is live it records how long each item waited for a
+// worker slot (the semaphore queue-wait histogram).
+func parallelMap[I any, O any](parallelism int, o *obs.Observer, app, stage string, items []I, fn func(I) O) []O {
 	out := make([]O, len(items))
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i := range items {
 		wg.Add(1)
+		var waitStart time.Time
+		if o != nil {
+			waitStart = time.Now()
+		}
 		sem <- struct{}{}
+		if o != nil {
+			o.Observe(obs.MSemWaitSeconds, time.Since(waitStart).Seconds(),
+				"app", app, "stage", stage)
+		}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()

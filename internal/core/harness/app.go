@@ -7,6 +7,7 @@ import (
 
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
+	"zebraconf/internal/obs"
 )
 
 // DefaultTestTimeout bounds one unit-test execution in real time. Tests
@@ -87,6 +88,13 @@ type Outcome struct {
 // RunOnce executes one unit test in a fresh environment with a fresh agent
 // configured by opts. seed differentiates trials of nondeterministic tests.
 func RunOnce(app *App, test *UnitTest, opts agent.Options, seed int64) Outcome {
+	return RunOnceObserved(app, test, opts, seed, nil)
+}
+
+// RunOnceObserved is RunOnce with an observability hook: the per-test
+// duration histogram, timeout counter, and progress execution tally are
+// recorded on o (nil disables instrumentation).
+func RunOnceObserved(app *App, test *UnitTest, opts agent.Options, seed int64, o *obs.Observer) Outcome {
 	env := NewEnv(app.Schema(), nil, seed)
 	defer env.Close()
 
@@ -126,6 +134,7 @@ func RunOnce(app *App, test *UnitTest, opts agent.Options, seed int64) Outcome {
 	// Stop nodes before reading the report so no new confs appear mid-read.
 	env.Close()
 	out.Report = ag.Report()
+	o.RecordTestRun(app.Name, test.Name, out.Failed, out.TimedOut, out.Elapsed)
 	return out
 }
 

@@ -76,6 +76,10 @@ func Findings(w io.Writer, res *campaign.Result) {
 	if len(res.Missed) > 0 {
 		fmt.Fprintf(w, "  missed unsafe parameters: %s\n", strings.Join(res.Missed, ", "))
 	}
+	if len(res.SkippedTests) > 0 {
+		fmt.Fprintf(w, "  WARNING: %d pre-run test(s) skipped in phase 2 (lookup failed): %s\n",
+			len(res.SkippedTests), strings.Join(res.SkippedTests, ", "))
+	}
 }
 
 // Mapping prints the §6.2 mapping statistics.
@@ -141,6 +145,7 @@ type Summary struct {
 	Executed       int64
 	FirstTrial     int
 	Filtered       int
+	SkippedTests   int
 }
 
 // Summarize folds campaign results.
@@ -154,6 +159,7 @@ func Summarize(results []*campaign.Result) Summary {
 		s.Executed += r.Counts.Executed
 		s.FirstTrial += r.FirstTrialSignals
 		s.Filtered += r.FilteredByHypothesis
+		s.SkippedTests += len(r.SkippedTests)
 	}
 	return s
 }

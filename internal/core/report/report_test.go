@@ -153,3 +153,19 @@ func TestClip(t *testing.T) {
 		t.Fatalf("clip long = %q", got)
 	}
 }
+
+func TestFindingsSurfacesSkippedTests(t *testing.T) {
+	res := &campaign.Result{App: "beta", SkippedTests: []string{"TestGone", "TestLost"}}
+	var buf bytes.Buffer
+	Findings(&buf, res)
+	out := buf.String()
+	if !strings.Contains(out, "WARNING: 2 pre-run test(s) skipped") ||
+		!strings.Contains(out, "TestGone, TestLost") {
+		t.Fatalf("skipped tests not surfaced:\n%s", out)
+	}
+
+	s := Summarize([]*campaign.Result{res})
+	if s.SkippedTests != 2 {
+		t.Fatalf("Summarize skipped = %d, want 2", s.SkippedTests)
+	}
+}

@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sync/atomic"
 
@@ -14,6 +15,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/stats"
 	"zebraconf/internal/core/testgen"
+	"zebraconf/internal/obs"
 )
 
 // Verdict classifies one instance after running.
@@ -61,6 +63,8 @@ type Result struct {
 	PValue float64
 	// Executions counts unit-test runs this instance consumed.
 	Executions int64
+	// Rounds counts confirmation rounds run after the first trial.
+	Rounds int
 	// HeteroMsg is a failure message from a heterogeneous run, for reports.
 	HeteroMsg string
 }
@@ -79,6 +83,9 @@ type Options struct {
 	DisableGate bool
 	// Strategy selects the agent's read-mapping strategy.
 	Strategy agent.Strategy
+	// Obs receives execution metrics and trace spans; nil disables
+	// instrumentation at no cost.
+	Obs *obs.Observer
 }
 
 // Runner executes instances against one application.
@@ -117,53 +124,92 @@ func seedFor(label string, arm string, round int) int64 {
 // runOnce executes the unit test under one assignment.
 func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) harness.Outcome {
 	r.executions.Add(1)
-	return harness.RunOnce(r.app, test, agent.Options{
+	out := harness.RunOnceObserved(r.app, test, agent.Options{
 		Strategy: r.opts.Strategy,
 		Assign:   assign,
-	}, seedFor(label, arm, round))
+	}, seedFor(label, arm, round), r.opts.Obs)
+	r.opts.Obs.RecordExecution(r.app.Name, arm, out.Failed)
+	return out
 }
 
 // PreRun executes every unit test once with no assignments, collecting the
 // §4 pre-run reports (node types started, parameter usage, uncertainty).
 func (r *Runner) PreRun(test *harness.UnitTest) testgen.PreRun {
 	r.executions.Add(1)
-	out := harness.RunOnce(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(test.Name, "prerun", 0))
+	out := harness.RunOnceObserved(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(test.Name, "prerun", 0), r.opts.Obs)
+	r.opts.Obs.RecordExecution(r.app.Name, "prerun", out.Failed)
 	return testgen.PreRun{Test: test.Name, Report: out.Report}
 }
 
-// RunAssignment applies Definition 3.1 to one assignment set: first trial of
-// the heterogeneous arm and each homogeneous arm; on an unsafe signal (or
-// with gating disabled) it keeps running paired trials until Fisher's exact
-// test confirms the heterogeneous failure at the significance level, or the
-// round budget is exhausted.
+// RunAssignment applies Definition 3.1 to one assignment set as a trace
+// root; see RunAssignmentIn.
 func (r *Runner) RunAssignment(test *harness.UnitTest, asn testgen.Assignment, label string) Result {
-	res := Result{PValue: 1}
+	return r.RunAssignmentIn(obs.NoSpan, test, asn, label)
+}
 
-	het := r.runOnce(test, asn.Hetero, label, "hetero", 0)
-	heteroFail, heteroPass := int64(0), int64(0)
-	if het.Failed {
-		heteroFail++
-		res.HeteroMsg = het.Msg
-	} else {
-		heteroPass++
-	}
-	homoFail, homoPass := int64(0), int64(0)
-	anyHomoFailedFirst := false
-	for i, arm := range asn.Homo {
-		out := r.runOnce(test, arm, label, homoArmName(i), 0)
-		if out.Failed {
-			homoFail++
-			anyHomoFailedFirst = true
+// RunAssignmentIn applies Definition 3.1 to one assignment set: first trial
+// of the heterogeneous arm and each homogeneous arm; on an unsafe signal
+// (or with gating disabled) it keeps running paired trials until Fisher's
+// exact test confirms the heterogeneous failure at the significance level,
+// or the round budget is exhausted. The instance span nests under parent.
+func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) Result {
+	res := Result{PValue: 1}
+	span := r.opts.Obs.StartSpan("instance", parent,
+		obs.String("app", r.app.Name),
+		obs.String("test", test.Name),
+		obs.String("instance", label),
+		obs.Int("seed", seedFor(label, "hetero", 0)))
+	defer func() {
+		span.SetAttr(
+			obs.String("verdict", res.Verdict.String()),
+			obs.Bool("first_trial_signal", res.FirstTrialSignal),
+			obs.Float("p_value", res.PValue),
+			obs.Int("executions", res.Executions),
+			obs.Int("rounds", int64(res.Rounds)))
+		span.End()
+		r.opts.Obs.RecordVerdict(r.app.Name, res.Verdict.String(), res.FirstTrialSignal)
+		r.opts.Obs.Observe(obs.MConfirmRounds, float64(res.Rounds), "app", r.app.Name)
+	}()
+
+	runRound := func(round int, heteroFail, heteroPass, homoFail, homoPass *int64, anyHomoFailed *bool) {
+		rs := r.opts.Obs.StartSpan("round", span.ID(),
+			obs.String("app", r.app.Name),
+			obs.String("test", test.Name),
+			obs.Int("round", int64(round)))
+		het := r.runOnce(test, asn.Hetero, label, "hetero", round)
+		if het.Failed {
+			*heteroFail++
+			if res.HeteroMsg == "" {
+				res.HeteroMsg = het.Msg
+			}
 		} else {
-			homoPass++
+			*heteroPass++
 		}
+		for i, arm := range asn.Homo {
+			out := r.runOnce(test, arm, label, homoArmName(i), round)
+			if out.Failed {
+				*homoFail++
+				if anyHomoFailed != nil {
+					*anyHomoFailed = true
+				}
+			} else {
+				*homoPass++
+			}
+		}
+		res.Executions += 1 + int64(len(asn.Homo))
+		rs.SetAttr(obs.Bool("hetero_failed", het.Failed),
+			obs.Int("homo_failures", *homoFail))
+		rs.End()
 	}
-	res.Executions = 1 + int64(len(asn.Homo))
-	res.FirstTrialSignal = het.Failed && !anyHomoFailedFirst
+
+	var heteroFail, heteroPass, homoFail, homoPass int64
+	anyHomoFailedFirst := false
+	runRound(0, &heteroFail, &heteroPass, &homoFail, &homoPass, &anyHomoFailedFirst)
+	res.FirstTrialSignal = heteroFail > 0 && !anyHomoFailedFirst
 
 	if !res.FirstTrialSignal && !r.opts.DisableGate {
 		switch {
-		case !het.Failed:
+		case heteroFail == 0:
 			res.Verdict = VerdictSafe
 		default:
 			res.Verdict = VerdictHomoInvalid
@@ -173,26 +219,11 @@ func (r *Runner) RunAssignment(test *harness.UnitTest, asn testgen.Assignment, l
 
 	// Confirmation rounds: paired trials until significance or budget.
 	for round := 1; round <= r.opts.MaxRounds; round++ {
-		het := r.runOnce(test, asn.Hetero, label, "hetero", round)
-		if het.Failed {
-			heteroFail++
-			if res.HeteroMsg == "" {
-				res.HeteroMsg = het.Msg
-			}
-		} else {
-			heteroPass++
-		}
-		for i, arm := range asn.Homo {
-			out := r.runOnce(test, arm, label, homoArmName(i), round)
-			if out.Failed {
-				homoFail++
-			} else {
-				homoPass++
-			}
-		}
-		res.Executions += 1 + int64(len(asn.Homo))
+		runRound(round, &heteroFail, &heteroPass, &homoFail, &homoPass, nil)
+		res.Rounds = round
 
 		res.PValue = stats.FisherOneSided(heteroFail, heteroPass, homoFail, homoPass)
+		r.opts.Obs.Observe(obs.MPValue, res.PValue, "app", r.app.Name)
 		if res.PValue < r.opts.Significance {
 			res.Verdict = VerdictUnsafe
 			return res
@@ -206,16 +237,37 @@ func (r *Runner) RunAssignment(test *harness.UnitTest, asn testgen.Assignment, l
 	return res
 }
 
-// RunPooled executes just the heterogeneous arm of a pooled assignment; the
-// pool machinery only needs pass/fail to decide whether to split.
+// RunPooled executes just the heterogeneous arm of a pooled assignment as
+// a trace root; see RunPooledIn.
 func (r *Runner) RunPooled(test *harness.UnitTest, asn testgen.Assignment, label string) (failed bool) {
+	return r.RunPooledIn(obs.NoSpan, test, asn, label)
+}
+
+// RunPooledIn executes just the heterogeneous arm of a pooled assignment;
+// the pool machinery only needs pass/fail to decide whether to split. The
+// pooled-run span nests under parent.
+func (r *Runner) RunPooledIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) (failed bool) {
+	span := r.opts.Obs.StartSpan("pooled-run", parent,
+		obs.String("app", r.app.Name),
+		obs.String("test", test.Name),
+		obs.String("pool", label))
 	out := r.runOnce(test, asn.Hetero, label, "pool", 0)
+	span.SetAttr(obs.Bool("failed", out.Failed))
+	span.End()
+	result := "pass"
+	if out.Failed {
+		result = "fail"
+	}
+	r.opts.Obs.CounterAdd(obs.MPoolRuns, 1, "app", r.app.Name, "result", result)
 	return out.Failed
 }
 
+// homoArmName names homogeneous arm i deterministically and distinctly
+// (homoA, homoB, homoC, ...), so per-arm seeds and trace attributes
+// differ even beyond the usual two arms.
 func homoArmName(i int) string {
-	if i == 0 {
-		return "homoA"
+	if i >= 0 && i < 26 {
+		return "homo" + string(rune('A'+i))
 	}
-	return "homoB"
+	return fmt.Sprintf("homo%d", i)
 }

@@ -202,3 +202,17 @@ func TestPreRunCollectsUsage(t *testing.T) {
 		t.Fatal("unit-test usage missing")
 	}
 }
+
+func TestHomoArmNamesAreDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 30; i++ {
+		name := homoArmName(i)
+		if seen[name] {
+			t.Fatalf("homoArmName(%d) = %q repeats an earlier arm name", i, name)
+		}
+		seen[name] = true
+	}
+	if homoArmName(0) != "homoA" || homoArmName(1) != "homoB" || homoArmName(2) != "homoC" {
+		t.Fatalf("unexpected arm names: %q %q %q", homoArmName(0), homoArmName(1), homoArmName(2))
+	}
+}

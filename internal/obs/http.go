@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar panics on
+// duplicate Publish, and tests may start several debug servers.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr exposing:
+//
+//	/metrics     Prometheus text exposition of reg
+//	/debug/vars  expvar (including a zebraconf_metrics snapshot)
+//	/debug/pprof the standard pprof handlers
+//
+// It returns the bound listener address (useful with ":0") and a
+// shutdown function. The server is best-effort: handler errors are
+// dropped, and Serve runs on its own goroutine.
+func ServeDebug(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+
+	publishOnce.Do(func() {
+		expvar.Publish("zebraconf_metrics", expvar.Func(func() any {
+			var b strings.Builder
+			_ = reg.WritePrometheus(&b)
+			return b.String()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

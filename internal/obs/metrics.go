@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All operations are
+// lock-free atomics, safe for concurrent use from every worker.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments the gauge by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed cumulative-on-export
+// buckets, Prometheus style: bucket i counts observations <= bounds[i],
+// with an implicit +Inf bucket at the end. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCount reports the raw (non-cumulative) count of bucket i, where
+// i == len(Bounds()) addresses the +Inf bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.buckets[i].Load() }
+
+// Bounds returns the upper bounds the histogram was built with.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// metricKey identifies one labeled time series within a family.
+type metricKey struct {
+	name   string
+	labels string // canonical `k="v",k="v"` encoding, sorted by key
+}
+
+// Registry holds every metric of a campaign run. Lookups take a read
+// lock; the returned metric objects are then updated with atomics only,
+// so the hot path (lookup + add) never contends on writes.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// labelString canonicalizes key/value pairs: sorted by key, rendered in
+// Prometheus exposition syntax.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels, "")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	key := metricKey{name, labelString(labels)}
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	key := metricKey{name, labelString(labels)}
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels. The bounds of the first creation win for the series; a
+// family should use one layout throughout (the Observer catalog does).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	key := metricKey{name, labelString(labels)}
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[key] = h
+	}
+	return h
+}
+
+// CounterValue sums every series of a counter family, optionally
+// restricted to series carrying all the given label pairs.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	want := splitPairs(labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for key, c := range r.counters {
+		if key.name == name && matchesLabels(key.labels, want) {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+func splitPairs(labels []string) map[string]string {
+	out := make(map[string]string, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		out[labels[i]] = labels[i+1]
+	}
+	return out
+}
+
+func matchesLabels(encoded string, want map[string]string) bool {
+	for k, v := range want {
+		if !strings.Contains(encoded, k+`="`+escapeLabel(v)+`"`) {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), with families and series in sorted order so
+// output is diffable across runs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	type series struct {
+		key  metricKey
+		line func(io.Writer, metricKey) error
+	}
+	families := make(map[string]string) // name -> type
+	var all []series
+
+	for key, c := range r.counters {
+		families[key.name] = "counter"
+		c := c
+		all = append(all, series{key, func(w io.Writer, k metricKey) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", k.name, braced(k.labels), c.Value())
+			return err
+		}})
+	}
+	for key, g := range r.gauges {
+		families[key.name] = "gauge"
+		g := g
+		all = append(all, series{key, func(w io.Writer, k metricKey) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", k.name, braced(k.labels), g.Value())
+			return err
+		}})
+	}
+	for key, h := range r.hists {
+		families[key.name] = "histogram"
+		h := h
+		all = append(all, series{key, func(w io.Writer, k metricKey) error {
+			cum := int64(0)
+			for i, ub := range h.bounds {
+				cum += h.BucketCount(i)
+				if err := writeBucket(w, k, formatFloat(ub), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.BucketCount(len(h.bounds))
+			if err := writeBucket(w, k, "+Inf", cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", k.name, braced(k.labels), formatFloat(h.Sum())); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", k.name, braced(k.labels), h.Count())
+			return err
+		}})
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key.name != all[j].key.name {
+			return all[i].key.name < all[j].key.name
+		}
+		return all[i].key.labels < all[j].key.labels
+	})
+
+	lastFamily := ""
+	for _, s := range all {
+		if s.key.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.key.name, families[s.key.name]); err != nil {
+				return err
+			}
+			lastFamily = s.key.name
+		}
+		if err := s.line(w, s.key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeBucket(w io.Writer, k metricKey, le string, cum int64) error {
+	labels := k.labels
+	if labels != "" {
+		labels += ","
+	}
+	labels += `le="` + le + `"`
+	_, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", k.name, labels, cum)
+	return err
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 10} {
+		h.Observe(v)
+	}
+	// Upper bounds are inclusive, Prometheus style.
+	want := []int64{2, 2, 0, 1} // <=1, <=2, <=5, +Inf
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Errorf("sum = %v, want 15", h.Sum())
+	}
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 32, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Re-lookup each time: the hot path the runner exercises.
+				r.Counter(MExecutions, "app", "minihdfs", "arm", "hetero").Inc()
+				r.Histogram(MPValue, PValueBuckets, "app", "minihdfs").Observe(0.5)
+				r.Gauge(MInstancesDone, "app", "minihdfs").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.CounterValue(MExecutions); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram(MPValue, PValueBuckets, "app", "minihdfs").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge(MInstancesDone, "app", "minihdfs").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLabelOrderCanonicalized(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "b", "2", "a", "1").Add(3)
+	r.Counter("x_total", "a", "1", "b", "2").Add(4)
+	if got := r.CounterValue("x_total", "a", "1"); got != 7 {
+		t.Errorf("label order created distinct series: sum = %d, want 7", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MVerdicts, "app", "minihdfs", "verdict", "safe").Add(12)
+	r.Counter(MVerdicts, "app", "minihdfs", "verdict", "unsafe").Add(3)
+	r.Gauge(MInstancesTotal, "app", "minihdfs").Set(40)
+	h := r.Histogram(MPValue, []float64{0.001, 0.5}, "app", "minihdfs")
+	h.Observe(0.0001)
+	h.Observe(0.25)
+	h.Observe(0.9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE " + MVerdicts + " counter\n",
+		MVerdicts + `{app="minihdfs",verdict="safe"} 12` + "\n",
+		MVerdicts + `{app="minihdfs",verdict="unsafe"} 3` + "\n",
+		"# TYPE " + MInstancesTotal + " gauge\n",
+		MInstancesTotal + `{app="minihdfs"} 40` + "\n",
+		"# TYPE " + MPValue + " histogram\n",
+		MPValue + `_bucket{app="minihdfs",le="0.001"} 1` + "\n",
+		MPValue + `_bucket{app="minihdfs",le="0.5"} 2` + "\n",
+		MPValue + `_bucket{app="minihdfs",le="+Inf"} 3` + "\n",
+		MPValue + `_sum{app="minihdfs"} `,
+		MPValue + `_count{app="minihdfs"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Series of one family must be contiguous under a single TYPE line.
+	if strings.Count(out, "# TYPE "+MVerdicts) != 1 {
+		t.Errorf("family %s has more than one TYPE line", MVerdicts)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "msg", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{msg="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong: %s", b.String())
+	}
+}
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	o.CounterAdd(MExecutions, 1, "app", "x")
+	o.GaugeSet(MInstancesTotal, 5, "app", "x")
+	o.GaugeAdd(MInstancesDone, 1, "app", "x")
+	o.Observe(MPValue, 0.5, "app", "x")
+	o.RecordTestRun("x", "t", true, false, 0)
+	o.RecordExecution("x", "hetero", false)
+	o.RecordVerdict("x", "safe", false)
+	o.ProgressBegin("x")
+	o.ProgressAddTotal(1)
+	o.ProgressAddDone(1)
+	o.ProgressFinish()
+	if s := o.StartSpan("x", NoSpan); s != nil {
+		t.Errorf("nil observer returned a live span")
+	}
+	// An Observer with only metrics must tolerate nil Tracer/Progress too.
+	live := New()
+	live.RecordTestRun("x", "t", false, false, 0)
+	live.ProgressBegin("x")
+	live.ProgressFinish()
+	live.StartSpan("x", NoSpan).End()
+}

@@ -1,0 +1,215 @@
+// Package obs is ZebraConf's observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, histograms with Prometheus
+// text exposition), a structured JSONL span tracer, and a live progress
+// reporter. The campaign, runner, and harness layers call nil-safe
+// Observer methods on every hot path, so with observability disabled
+// (a nil *Observer) the instrumented code costs a nil check and nothing
+// else.
+package obs
+
+import "time"
+
+// Metric names form the stable catalog documented in README.md
+// ("Observability"). Label sets are listed next to each name.
+const (
+	// MExecutions counts unit-test executions. Labels: app, arm
+	// (hetero | homoA.. | pool | prerun), outcome (pass | fail).
+	MExecutions = "zebraconf_executions_total"
+	// MTestSeconds is the per-unit-test wall-clock histogram.
+	// Labels: app, test.
+	MTestSeconds = "zebraconf_unit_test_seconds"
+	// MTimeouts counts unit-test executions killed by the harness
+	// timeout. Labels: app, test.
+	MTimeouts = "zebraconf_test_timeouts_total"
+	// MVerdicts counts instance verdicts. Labels: app, verdict
+	// (safe | unsafe | filtered | homo-invalid).
+	MVerdicts = "zebraconf_instance_verdicts_total"
+	// MFirstTrial counts instances whose first trial showed the unsafe
+	// pattern (§7.2 gating statistic). Labels: app.
+	MFirstTrial = "zebraconf_first_trial_signals_total"
+	// MPValue is the distribution of final Fisher one-sided p-values
+	// over instances that ran confirmation rounds. Labels: app.
+	MPValue = "zebraconf_fisher_p_value"
+	// MConfirmRounds is the confirmation-rounds-per-instance histogram
+	// (0 when the first-trial gate stopped the instance). Labels: app.
+	MConfirmRounds = "zebraconf_confirmation_rounds"
+	// MPoolRuns counts pooled heterogeneous runs. Labels: app, result
+	// (pass | fail).
+	MPoolRuns = "zebraconf_pool_runs_total"
+	// MPoolSplits counts pool splits (each failing pool of size >= 2
+	// splits once into two halves). Labels: app.
+	MPoolSplits = "zebraconf_pool_splits_total"
+	// MPoolDepth is the recursion-depth histogram of pooled runs
+	// (depth 0 = a pool as built by BuildPools). Labels: app.
+	MPoolDepth = "zebraconf_pool_split_depth"
+	// MQuarantine counts parameters quarantined by the frequent-failer
+	// rule. Labels: app.
+	MQuarantine = "zebraconf_quarantine_events_total"
+	// MSkippedTests counts pre-run tests whose lookup failed in phase 2.
+	// Labels: app.
+	MSkippedTests = "zebraconf_skipped_tests_total"
+	// MPhaseSeconds is the per-campaign-phase latency histogram.
+	// Labels: app, phase (prerun | instances | scoring).
+	MPhaseSeconds = "zebraconf_phase_seconds"
+	// MSemWaitSeconds is the parallelMap semaphore queue-wait histogram:
+	// how long work items waited for a worker slot. Labels: app, stage.
+	MSemWaitSeconds = "zebraconf_semaphore_wait_seconds"
+	// MInstancesTotal / MInstancesDone gauge campaign progress.
+	// Labels: app.
+	MInstancesTotal = "zebraconf_instances_total"
+	MInstancesDone  = "zebraconf_instances_done"
+)
+
+// Bucket layouts for the catalog's histogram families.
+var (
+	// PValueBuckets spans the Fisher p-value range down to well under
+	// the paper's 1e-4 significance level.
+	PValueBuckets = []float64{1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1}
+	// LatencyBuckets covers microseconds to tens of seconds.
+	LatencyBuckets = []float64{1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1, 5, 15, 60}
+	// RoundBuckets covers the confirmation-round budget (default max 8).
+	RoundBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	// DepthBuckets covers pool-split recursion depth (log2 of pool size).
+	DepthBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10}
+)
+
+// boundsFor maps a histogram family to its catalog bucket layout.
+func boundsFor(name string) []float64 {
+	switch name {
+	case MPValue:
+		return PValueBuckets
+	case MConfirmRounds:
+		return RoundBuckets
+	case MPoolDepth:
+		return DepthBuckets
+	default:
+		return LatencyBuckets
+	}
+}
+
+// Observer bundles the three observability sinks. Any field may be nil;
+// every method is safe on a nil receiver, which is the "observability
+// off" configuration used by default throughout the codebase.
+type Observer struct {
+	Metrics  *Registry
+	Tracer   *Tracer
+	Progress *Progress
+}
+
+// New returns an Observer with a live metrics registry and no tracer or
+// progress reporter; callers attach those when the corresponding outputs
+// are requested.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry()}
+}
+
+// CounterAdd adds delta to a named counter. Labels are key/value pairs.
+func (o *Observer) CounterAdd(name string, delta int64, labels ...string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Counter(name, labels...).Add(delta)
+}
+
+// GaugeSet sets a named gauge.
+func (o *Observer) GaugeSet(name string, v int64, labels ...string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(name, labels...).Set(v)
+}
+
+// GaugeAdd adds delta to a named gauge.
+func (o *Observer) GaugeAdd(name string, delta int64, labels ...string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Gauge(name, labels...).Add(delta)
+}
+
+// Observe records v into the named histogram family, using the catalog
+// bucket layout for that family.
+func (o *Observer) Observe(name string, v float64, labels ...string) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(name, boundsFor(name), labels...).Observe(v)
+}
+
+// StartSpan opens a trace span under parent (NoSpan for a root). Returns
+// nil when tracing is off; a nil *Span is safe to use.
+func (o *Observer) StartSpan(name string, parent SpanID, attrs ...Attr) *Span {
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	return o.Tracer.Start(name, parent, attrs...)
+}
+
+// ProgressBegin starts the live progress reporter for one campaign.
+func (o *Observer) ProgressBegin(app string) {
+	if o == nil {
+		return
+	}
+	o.Progress.Begin(app)
+}
+
+// ProgressFinish stops the live progress reporter.
+func (o *Observer) ProgressFinish() {
+	if o == nil {
+		return
+	}
+	o.Progress.Finish()
+}
+
+// ProgressAddTotal adds discovered instances to the progress denominator.
+func (o *Observer) ProgressAddTotal(n int64) {
+	if o == nil {
+		return
+	}
+	o.Progress.AddTotal(n)
+}
+
+// ProgressAddDone marks instances resolved in the progress numerator.
+func (o *Observer) ProgressAddDone(n int64) {
+	if o == nil {
+		return
+	}
+	o.Progress.AddDone(n)
+}
+
+// RecordTestRun is the harness hook: one unit-test execution finished.
+func (o *Observer) RecordTestRun(app, test string, failed, timedOut bool, d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.Observe(MTestSeconds, d.Seconds(), "app", app, "test", test)
+	if timedOut {
+		o.CounterAdd(MTimeouts, 1, "app", app, "test", test)
+	}
+	o.Progress.AddExecutions(1)
+}
+
+// RecordExecution is the runner hook: one unit-test execution finished
+// under a specific arm.
+func (o *Observer) RecordExecution(app, arm string, failed bool) {
+	if o == nil {
+		return
+	}
+	outcome := "pass"
+	if failed {
+		outcome = "fail"
+	}
+	o.CounterAdd(MExecutions, 1, "app", app, "arm", arm, "outcome", outcome)
+}
+
+// RecordVerdict is the runner hook: one instance got its final verdict.
+func (o *Observer) RecordVerdict(app, verdict string, firstTrialSignal bool) {
+	if o == nil {
+		return
+	}
+	o.CounterAdd(MVerdicts, 1, "app", app, "verdict", verdict)
+	if firstTrialSignal {
+		o.CounterAdd(MFirstTrial, 1, "app", app)
+	}
+	o.Progress.AddVerdict(verdict)
+}

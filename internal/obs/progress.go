@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress renders live campaign progress to a writer (normally stderr)
+// on a fixed interval: instances done/total, executions per second, and
+// the running verdict tallies. All update methods are lock-free atomics
+// and nil-safe, so the campaign calls them unconditionally.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu    sync.Mutex
+	app   string
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+
+	total, finished, executions         atomic.Int64
+	safe, unsafe, filtered, homoInvalid atomic.Int64
+}
+
+// NewProgress returns a reporter writing to w every interval (default
+// 2s when interval <= 0).
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Progress{w: w, interval: interval}
+}
+
+// Begin resets the tallies for one campaign and starts the render loop.
+func (p *Progress) Begin(app string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.app = app
+	p.start = time.Now()
+	for _, c := range []*atomic.Int64{&p.total, &p.finished, &p.executions,
+		&p.safe, &p.unsafe, &p.filtered, &p.homoInvalid} {
+		c.Store(0)
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go p.loop(p.stop, p.done)
+}
+
+// Finish stops the render loop and prints a final summary line.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	p.render(true)
+}
+
+func (p *Progress) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.render(false)
+		}
+	}
+}
+
+func (p *Progress) render(final bool) {
+	p.mu.Lock()
+	app, start := p.app, p.start
+	p.mu.Unlock()
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	execs := p.executions.Load()
+	tag := "…"
+	if final {
+		tag = "done"
+	}
+	fmt.Fprintf(p.w, "[zebraconf %s] %d/%d instances · %d execs (%.1f/s) · safe=%d unsafe=%d filtered=%d homo-invalid=%d · %.1fs %s\n",
+		app, p.finished.Load(), p.total.Load(), execs, float64(execs)/elapsed,
+		p.safe.Load(), p.unsafe.Load(), p.filtered.Load(), p.homoInvalid.Load(),
+		elapsed, tag)
+}
+
+// AddTotal adds newly discovered instances to the denominator.
+func (p *Progress) AddTotal(n int64) {
+	if p == nil {
+		return
+	}
+	p.total.Add(n)
+}
+
+// AddDone marks n instances resolved (leaf verdict, pooled clear, or
+// skip of an already-confirmed parameter).
+func (p *Progress) AddDone(n int64) {
+	if p == nil {
+		return
+	}
+	p.finished.Add(n)
+}
+
+// AddExecutions counts unit-test executions for the rate display.
+func (p *Progress) AddExecutions(n int64) {
+	if p == nil {
+		return
+	}
+	p.executions.Add(n)
+}
+
+// AddVerdict tallies one instance verdict by its String name.
+func (p *Progress) AddVerdict(verdict string) {
+	if p == nil {
+		return
+	}
+	switch verdict {
+	case "safe":
+		p.safe.Add(1)
+	case "unsafe":
+		p.unsafe.Add(1)
+	case "filtered":
+		p.filtered.Add(1)
+	case "homo-invalid":
+		p.homoInvalid.Add(1)
+	}
+}

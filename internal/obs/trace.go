@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a trace. The zero value, NoSpan,
+// means "no parent" (a root span) and is what nil spans report, so
+// instrumented code can pass span.ID() unconditionally.
+type SpanID uint64
+
+// NoSpan is the absent-span sentinel.
+const NoSpan SpanID = 0
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{k, v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{k, v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{k, v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{k, v} }
+
+// SpanRecord is the JSONL schema, one record per line, written when a
+// span ends. Children therefore appear before their parents in the
+// file; consumers resolve parent IDs after reading the whole trace.
+type SpanRecord struct {
+	Span    SpanID         `json:"span"`
+	Parent  SpanID         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer emits structured spans as JSON lines. Span creation is an
+// atomic ID allocation; the writer lock is taken only when a span ends.
+type Tracer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	enc  *json.Encoder
+	next atomic.Uint64
+	// epoch anchors start_us so traces are relative, compact, and
+	// stable under clock redefinition mid-run.
+	epoch time.Time
+}
+
+// NewTracer returns a tracer writing JSONL records to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, enc: json.NewEncoder(w), epoch: time.Now()}
+}
+
+// Span is one in-flight trace span. A nil *Span is valid: every method
+// no-ops and ID() reports NoSpan.
+type Span struct {
+	tr     *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Start opens a span named name under parent (NoSpan for a root).
+func (t *Tracer) Start(name string, parent SpanID, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		tr:     t,
+		id:     SpanID(t.next.Add(1)),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+	}
+	if len(attrs) > 0 {
+		s.attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			s.attrs[a.Key] = a.Value
+		}
+	}
+	return s
+}
+
+// ID reports the span's ID, or NoSpan for a nil span.
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return NoSpan
+	}
+	return s.id
+}
+
+// SetAttr attaches (or overwrites) an attribute before End.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.attrs[a.Key] = a.Value
+	}
+}
+
+// End closes the span and writes its JSONL record. Safe to call once;
+// later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := SpanRecord{
+		Span:    s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.tr.epoch).Microseconds(),
+		DurUS:   time.Since(s.start).Microseconds(),
+		Attrs:   attrs,
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	// Encoding errors (e.g. a closed file) are deliberately dropped:
+	// tracing must never fail the campaign.
+	_ = s.tr.enc.Encode(rec)
+}
+
+// ReadTrace parses a JSONL trace, for tests and tools.
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []SpanRecord
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanJSONLParentChild(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+
+	root := tr.Start("campaign", NoSpan, String("app", "minihdfs"))
+	child := tr.Start("pool", root.ID(), Int("depth", 0))
+	grand := tr.Start("pooled-run", child.ID())
+	grand.SetAttr(Bool("failed", true))
+	grand.End()
+	child.End()
+	root.End()
+
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Spans are written on End, children first.
+	byName := map[string]SpanRecord{}
+	ids := map[SpanID]bool{}
+	for _, r := range recs {
+		byName[r.Name] = r
+		ids[r.Span] = true
+	}
+	if byName["campaign"].Parent != NoSpan {
+		t.Errorf("root has parent %d", byName["campaign"].Parent)
+	}
+	if byName["pool"].Parent != byName["campaign"].Span {
+		t.Errorf("pool parent = %d, want %d", byName["pool"].Parent, byName["campaign"].Span)
+	}
+	if byName["pooled-run"].Parent != byName["pool"].Span {
+		t.Errorf("pooled-run parent = %d, want %d", byName["pooled-run"].Parent, byName["pool"].Span)
+	}
+	for _, r := range recs {
+		if r.Parent != NoSpan && !ids[r.Parent] {
+			t.Errorf("span %d has dangling parent %d", r.Span, r.Parent)
+		}
+		if r.DurUS < 0 {
+			t.Errorf("span %d has negative duration", r.Span)
+		}
+	}
+	if got := byName["campaign"].Attrs["app"]; got != "minihdfs" {
+		t.Errorf("root attr app = %v", got)
+	}
+	if got := byName["pooled-run"].Attrs["failed"]; got != true {
+		t.Errorf("SetAttr after start lost: %v", got)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	s := tr.Start("x", NoSpan)
+	s.End()
+	s.End()
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("double End wrote %d records", len(recs))
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start("root", NoSpan)
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Start("child", root.ID(), Int("i", int64(i)))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n+1 {
+		t.Fatalf("got %d records, want %d", len(recs), n+1)
+	}
+	seen := map[SpanID]bool{}
+	for _, r := range recs {
+		if seen[r.Span] {
+			t.Fatalf("duplicate span id %d", r.Span)
+		}
+		seen[r.Span] = true
+	}
+}
+
+func TestProgressRenders(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	p := NewProgress(w, 10*time.Millisecond)
+	p.Begin("minihdfs")
+	p.AddTotal(10)
+	p.AddDone(4)
+	p.AddExecutions(123)
+	p.AddVerdict("unsafe")
+	time.Sleep(30 * time.Millisecond)
+	p.Finish()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "4/10 instances") {
+		t.Errorf("missing done/total in %q", out)
+	}
+	if !strings.Contains(out, "unsafe=1") {
+		t.Errorf("missing verdict tally in %q", out)
+	}
+	if !strings.Contains(out, "done") {
+		t.Errorf("missing final line in %q", out)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
