@@ -9,12 +9,16 @@
 //	zebraconf -mode run -app all -json out.json
 //	zebraconf -mode run -app miniyarn -params yarn.http.policy -tests TestTimelineQuery
 //	zebraconf -mode run -app minihdfs -trace /tmp/t.jsonl -metrics /tmp/m.prom -progress
+//	zebraconf -mode run -app minihdfs -workers 4 -seed 7 -checkpoint /tmp/c.jsonl
+//	zebraconf -mode run -app minihdfs -workers 4 -seed 7 -resume /tmp/c.jsonl
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strings"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
@@ -30,11 +35,12 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run")
+		mode       = flag.String("mode", "run", "stats | run | suggest-deps")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
 		parallel   = flag.Int("parallel", 0, "concurrent unit tests (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 0, "base seed mixed into every trial seed (reproducible campaigns)")
 		jsonOut    = flag.String("json", "", "write campaign results as JSON to this file")
 		noPool     = flag.Bool("no-pool", false, "disable pooled testing (ablation)")
 		noGate     = flag.Bool("no-gate", false, "disable first-trial gating (ablation)")
@@ -44,8 +50,27 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write Prometheus text metrics to this file at exit")
 		progress   = flag.Bool("progress", false, "render live campaign progress to stderr")
 		httpAddr   = flag.String("http", "", "serve /metrics, expvar, and pprof on this address (e.g. :6060)")
+
+		// Distributed execution (internal/core/dist).
+		workers        = flag.Int("workers", 0, "shard the campaign across N worker subprocesses (0 = in-process)")
+		workerMode     = flag.Bool("worker", false, "run as a campaign worker speaking NDJSON on stdio (spawned by -workers; not for interactive use)")
+		workerParallel = flag.Int("worker-parallel", 0, "concurrent work items inside each worker subprocess (0 = split the -parallel budget across workers)")
+		checkpoint     = flag.String("checkpoint", "", "journal completed work items to this JSONL file (with -workers)")
+		resume         = flag.String("resume", "", "skip work items already completed in this checkpoint journal (with -workers)")
+		itemTimeout    = flag.Duration("item-timeout", dist.DefaultItemTimeout, "per-work-item deadline before its worker is killed")
+		itemRetries    = flag.Int("item-retries", dist.DefaultItemRetries, "crashed/timed-out work item retries before quarantine")
 	)
 	flag.Parse()
+
+	if *workerMode {
+		out := bufio.NewWriter(os.Stdout)
+		defer out.Flush()
+		if err := dist.ServeWorker(os.Stdin, out, apps.ByName); err != nil {
+			fmt.Fprintln(os.Stderr, "zebraconf worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Observability is assembled only when asked for; a nil Observer
 	// keeps every instrumented path on its no-op branch.
@@ -107,7 +132,7 @@ func main() {
 		// The paper's future-work extension: extract dependency rules by
 		// diffing read sets across a parameter's candidate values.
 		for _, app := range selected {
-			run := runner.New(app, runner.Options{})
+			run := runner.New(app, runner.Options{BaseSeed: *seed})
 			targets := splitList(*params)
 			if len(targets) == 0 {
 				targets = app.Schema().Names()
@@ -141,16 +166,66 @@ func main() {
 			DisableGate:    *noGate,
 			Params:         splitList(*params),
 			Tests:          splitList(*tests),
+			Seed:           *seed,
 			Obs:            observer,
 		}
 		if *threadOnly {
 			opts.Strategy = agent.StrategyThreadOnly
 		}
+		var workerExe string
+		if *workers > 0 {
+			if len(selected) > 1 && (*checkpoint != "" || *resume != "") {
+				fmt.Fprintln(os.Stderr, "-checkpoint/-resume journal one campaign; use a single -app")
+				os.Exit(2)
+			}
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			workerExe = exe
+		}
 		var results []*campaign.Result
 		for _, app := range selected {
 			fmt.Printf("=== campaign: %s (%d tests, %d parameters) ===\n",
 				app.Name, len(app.Tests), app.Schema().Len())
-			res := campaign.Run(app, opts)
+			appOpts := opts
+			if *workers > 0 {
+				cfg := dist.ConfigFrom(opts)
+				cfg.Parallel = *workerParallel
+				if cfg.Parallel <= 0 {
+					// Split the in-process concurrency budget across the
+					// workers: total load — and with it the timing
+					// behaviour of latency-sensitive tests — stays the
+					// same no matter how many workers shard the campaign.
+					total := *parallel
+					if total <= 0 {
+						total = campaign.DefaultParallelism()
+					}
+					cfg.Parallel = (total + *workers - 1) / *workers
+				}
+				coord := dist.New(dist.Options{
+					App:            app.Name,
+					Workers:        *workers,
+					WorkerCmd:      func() *exec.Cmd { return exec.Command(workerExe, "-worker") },
+					Config:         cfg,
+					CheckpointPath: *checkpoint,
+					ResumePath:     *resume,
+					ItemTimeout:    *itemTimeout,
+					ItemRetries:    *itemRetries,
+					Obs:            observer,
+					Stderr:         os.Stderr,
+				})
+				appOpts.Distribute = func(parent obs.SpanID, items []campaign.WorkItem) []campaign.ItemResult {
+					res, err := coord.Execute(parent, items)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "distributed campaign failed:", err)
+						os.Exit(1)
+					}
+					return res
+				}
+			}
+			res := campaign.Run(app, appOpts)
 			report.Full(os.Stdout, res)
 			fmt.Println()
 			results = append(results, res)

@@ -256,7 +256,15 @@ func testDeadDataNodeDetection(t *harness.T) {
 func testStaleDataNodeDetection(t *harness.T) {
 	c, client, conf := startCluster(t, ClusterOptions{DataNodes: 2})
 	c.DNs[1].Stop()
-	t.Env.Scale.Sleep(2 * conf.GetTicks(ParamStaleInterval))
+	// Sleep 4x (not 2x) the client's stale window: the verdict is a
+	// two-sided timing race. The homogeneous low arm needs a NameNode
+	// monitor pass to land between the threshold crossing and the Stats
+	// read (window = 3x stale here), while the confirming heterogeneous
+	// arm needs the Stats read to stay BELOW the NameNode's larger
+	// threshold despite sleep overshoot (slack = 1000 - 4*100 = 600 ticks
+	// with the schema's candidates). Both margins are tens of
+	// milliseconds, far above full-campaign scheduler jitter.
+	t.Env.Scale.Sleep(4 * conf.GetTicks(ParamStaleInterval))
 	stats, err := client.Stats()
 	t.NoErr(err, "stats")
 	if stats.StaleDNs != 1 {
@@ -412,9 +420,9 @@ func testBalancerBasic(t *harness.T) {
 func testBalancerBandwidth(t *harness.T) {
 	c, client, conf := startCluster(t, ClusterOptions{DataNodes: 1})
 	// Spread files across directories to respect the (scaled) per-directory
-	// item limit. 72 blocks -> 36 planned moves -> ~3,600 ticks of ingress
-	// backlog on a low-limit target, comfortably past the 2,000-tick
-	// balancer idle limit even under heavy scheduler load.
+	// item limit. 72 blocks -> 36 planned moves -> ~7,200 ticks of ingress
+	// backlog on a low-limit (5 bytes/tick) target, comfortably past the
+	// 2,000-tick balancer idle limit even under heavy scheduler load.
 	for d := 0; d < 3; d++ {
 		dir := fmt.Sprintf("/bw%d", d)
 		t.NoErr(client.Mkdir(dir), "mkdir bandwidth dir")

@@ -7,7 +7,6 @@ package campaign
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -47,10 +46,22 @@ type Options struct {
 	// Significance and MaxRounds pass through to the TestRunner.
 	Significance float64
 	MaxRounds    int
+	// Seed is the campaign's base seed, mixed into every per-run seed
+	// derivation so whole campaigns are reproducible-by-flag across both
+	// the in-process and distributed execution paths. Zero is simply the
+	// default base.
+	Seed int64
 	// Obs receives metrics, trace spans, and progress updates for the
 	// whole campaign; nil (the default) disables observability with only
 	// a nil-check of overhead on the instrumented paths.
 	Obs *obs.Observer
+	// Distribute, when non-nil, executes phase 2's work items instead of
+	// the in-process worker pool — the dist coordinator plugs in here,
+	// sharding the items across worker subprocesses. It receives the
+	// phase span and the full item list and returns one ItemResult per
+	// item, in any order; implementations handle their own errors (an
+	// absent item simply contributes nothing to the merged result).
+	Distribute func(parent obs.SpanID, items []WorkItem) []ItemResult
 }
 
 // ParamReport is the campaign's verdict for one reported parameter.
@@ -96,6 +107,19 @@ type Result struct {
 	// dropping them.
 	SkippedTests []string
 
+	// QuarantinedItems lists unit tests whose phase-2 work item the
+	// distributed coordinator abandoned after repeated worker crashes or
+	// deadline kills; their instances did not run, so the report
+	// surfaces them as a coverage gap. Always empty in-process.
+	QuarantinedItems []string
+
+	// LeakedGoroutines counts unit-test goroutines the harness had to
+	// abandon after a timeout during this campaign. The in-process path
+	// cannot kill them — they keep running and mutating their (isolated,
+	// but live) environment — which is exactly the hazard worker-process
+	// isolation eliminates; any nonzero count is flagged in the report.
+	LeakedGoroutines int64
+
 	// Mapping statistics (§6.2).
 	ConfUsingTests int
 	SharingTests   int
@@ -122,17 +146,25 @@ type paramStats struct {
 	example string
 }
 
+// DefaultParallelism is the default concurrent unit-test budget: the
+// tests spend most of their time in scaled-time sleeps, so oversubscribe
+// the CPUs — the analog of the paper's 20 containers per machine. The
+// distributed executor divides this same budget across its workers, so
+// total load (and with it the timing behaviour of latency-sensitive
+// tests) matches the in-process path.
+func DefaultParallelism() int {
+	p := 4 * runtime.GOMAXPROCS(0)
+	if p < 16 {
+		p = 16
+	}
+	return p
+}
+
 // Run executes a campaign over app.
 func Run(app *harness.App, opts Options) *Result {
 	start := time.Now()
 	if opts.Parallelism <= 0 {
-		// Unit tests spend most of their time in scaled-time sleeps, so
-		// oversubscribe the CPUs — the analog of the paper's 20 containers
-		// per machine.
-		opts.Parallelism = 4 * runtime.GOMAXPROCS(0)
-		if opts.Parallelism < 16 {
-			opts.Parallelism = 16
-		}
+		opts.Parallelism = DefaultParallelism()
 	}
 	if opts.QuarantineThreshold <= 0 {
 		opts.QuarantineThreshold = 3
@@ -147,6 +179,7 @@ func Run(app *harness.App, opts Options) *Result {
 		MaxRounds:    opts.MaxRounds,
 		DisableGate:  opts.DisableGate,
 		Strategy:     opts.Strategy,
+		BaseSeed:     opts.Seed,
 		Obs:          opts.Obs,
 	})
 
@@ -196,187 +229,53 @@ func Run(app *harness.App, opts Options) *Result {
 	res.Counts.Original = gen.OriginalCount(len(tests), app.NodeTypes)
 	res.Counts.AfterPreRun = gen.CountAfterPreRun(res.PreRuns)
 	res.Counts.AfterUncertainty = gen.CountAfterUncertainty(res.PreRuns)
-	baseline := run.Executions() // pre-run executions are not campaign instances
 
-	// Phase 2: instance execution with pooling.
-	var mu sync.Mutex
-	perParam := make(map[string]*paramStats)
-	// reachable tracks parameters that produced at least one instance: a
-	// parameter no unit test exercises cannot be found by ZebraConf by
-	// definition, so it does not count as missed (e.g. the HDFS corner-case
-	// parameters an HBase suite never reaches).
-	reachable := make(map[string]bool)
-
-	confirmUnsafe := func(inst testgen.Instance, r runner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		ps := perParam[inst.Param]
-		if ps == nil {
-			ps = &paramStats{tests: make(map[string]bool), minP: 1}
-			perParam[inst.Param] = ps
-		}
-		ps.tests[inst.Test] = true
-		if r.PValue < ps.minP {
-			ps.minP = r.PValue
-		}
-		if ps.example == "" {
-			ps.example = r.HeteroMsg
-		}
-		if len(ps.tests) >= opts.QuarantineThreshold {
-			if len(ps.tests) == opts.QuarantineThreshold {
-				o.CounterAdd(obs.MQuarantine, 1, "app", app.Name)
-			}
-			gen.Quarantine(inst.Param)
-		}
-	}
-	countVerdict := func(r runner.Result) {
-		mu.Lock()
-		defer mu.Unlock()
-		if r.FirstTrialSignal {
-			res.FirstTrialSignals++
-		}
-		switch r.Verdict {
-		case runner.VerdictFiltered:
-			res.FilteredByHypothesis++
-		case runner.VerdictHomoInvalid:
-			res.HomoInvalid++
-		}
-	}
-
+	// Phase 2: instance execution with pooling, over enumerable work
+	// items (one per pre-run test) so the in-process pool and the
+	// distributed coordinator share one execution and merge path.
+	items := BuildItems(res.PreRuns)
 	instancesSpan, endPhase := phase("instances")
-	markDone := func(n int) {
-		o.ProgressAddDone(int64(n))
-		o.GaugeAdd(obs.MInstancesDone, int64(n), "app", app.Name)
-	}
-	parallelMap(opts.Parallelism, o, app.Name, "instances", res.PreRuns, func(pre testgen.PreRun) struct{} {
-		test, err := app.Test(pre.Test)
-		if err != nil {
-			// A pre-run test that no longer resolves is a registration
-			// inconsistency; surface it instead of silently dropping it.
+	var itemResults []ItemResult
+	var localLeaks int64
+	if opts.Distribute != nil {
+		itemResults = opts.Distribute(instancesSpan, items)
+	} else {
+		// Cross-test frequent-failer quarantine (§4) runs live: once a
+		// parameter is confirmed by QuarantineThreshold distinct tests,
+		// remaining items skip its instances. The distributed path trades
+		// this pruning away for order-independent, resumable items.
+		var mu sync.Mutex
+		confirmedBy := make(map[string]map[string]bool)
+		onUnsafe := func(inst testgen.Instance, r runner.Result) {
 			mu.Lock()
-			res.SkippedTests = append(res.SkippedTests, pre.Test)
-			mu.Unlock()
-			o.CounterAdd(obs.MSkippedTests, 1, "app", app.Name)
-			return struct{}{}
-		}
-		rep := pre.Report
-		instances := gen.Instances(pre, testgen.InstancesOptions{DisableRoundRobin: opts.DisableRoundRobin})
-		if len(instances) == 0 {
-			return struct{}{}
-		}
-		mu.Lock()
-		for _, inst := range instances {
-			reachable[inst.Param] = true
-		}
-		mu.Unlock()
-		o.ProgressAddTotal(int64(len(instances)))
-		o.GaugeAdd(obs.MInstancesTotal, int64(len(instances)), "app", app.Name)
-		testSpan := o.StartSpan("test", instancesSpan,
-			obs.String("app", app.Name),
-			obs.String("test", pre.Test),
-			obs.Int("instances", int64(len(instances))))
-		defer testSpan.End()
-
-		// Within this test, skip further instances of a parameter already
-		// confirmed unsafe here.
-		confirmedHere := make(map[string]bool)
-		leaf := func(parent obs.SpanID, inst testgen.Instance) {
-			defer markDone(1)
-			if confirmedHere[inst.Param] || gen.Quarantined(inst.Param) {
-				return
+			defer mu.Unlock()
+			set := confirmedBy[inst.Param]
+			if set == nil {
+				set = make(map[string]bool)
+				confirmedBy[inst.Param] = set
 			}
-			asn := gen.AssignFor(inst, &rep)
-			r := run.RunAssignmentIn(parent, test, asn, inst.String())
-			countVerdict(r)
-			if r.Verdict == runner.VerdictUnsafe {
-				confirmedHere[inst.Param] = true
-				confirmUnsafe(inst, r)
+			set[inst.Test] = true
+			if len(set) == opts.QuarantineThreshold {
+				o.CounterAdd(obs.MQuarantine, 1, "app", app.Name)
+				gen.Quarantine(inst.Param)
 			}
 		}
-
-		if opts.DisablePooling {
-			for _, inst := range instances {
-				leaf(testSpan.ID(), inst)
-			}
-			return struct{}{}
-		}
-
-		var runPool func(parent obs.SpanID, depth int, p testgen.Pool)
-		runPool = func(parent obs.SpanID, depth int, p testgen.Pool) {
-			before := len(p.Members)
-			p = p.FilterQuarantined(gen)
-			p = filterConfirmed(p, confirmedHere)
-			if dropped := before - len(p.Members); dropped > 0 {
-				markDone(dropped)
-			}
-			switch len(p.Members) {
-			case 0:
-				return
-			case 1:
-				leaf(parent, p.Members[0])
-				return
-			}
-			span := o.StartSpan("pool", parent,
-				obs.String("app", app.Name),
-				obs.String("test", p.Test),
-				obs.Int("size", int64(len(p.Members))),
-				obs.Int("depth", int64(depth)))
-			defer span.End()
-			asn := p.Assignment(gen, &rep)
-			if !run.RunPooledIn(span.ID(), test, asn, p.Test+"/pool") {
-				// Pooled heterogeneous run passed: all members cleared.
-				span.SetAttr(obs.Bool("cleared", true))
-				markDone(len(p.Members))
-				return
-			}
-			o.CounterAdd(obs.MPoolSplits, 1, "app", app.Name)
-			o.Observe(obs.MPoolDepth, float64(depth), "app", app.Name)
-			a, b := p.Split()
-			runPool(span.ID(), depth+1, a)
-			runPool(span.ID(), depth+1, b)
-		}
-		for _, pool := range testgen.BuildPools(pre.Test, instances, opts.MaxPool) {
-			runPool(testSpan.ID(), 0, pool)
-		}
-		return struct{}{}
-	})
+		// Abandoned-goroutine accounting: per-item deltas double-count
+		// under in-process concurrency, so take one campaign-wide delta.
+		leakBase := harness.AbandonedGoroutines()
+		itemResults = parallelMap(opts.Parallelism, o, app.Name, "instances", items, func(it WorkItem) ItemResult {
+			return ExecuteItem(app, gen, run, opts, instancesSpan, it, onUnsafe, false)
+		})
+		localLeaks = harness.AbandonedGoroutines() - leakBase
+	}
 	endPhase()
 
-	res.Counts.Executed = run.Executions() - baseline
-
-	// Phase 3: verdicts and scoring.
+	// Phase 3: merge item results and score against ground truth.
 	_, endPhase = phase("scoring")
-	sort.Strings(res.SkippedTests)
-	for param, ps := range perParam {
-		p := schema.Lookup(param)
-		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example}
-		if p != nil {
-			report.Truth = p.Truth
-			report.Why = p.Why
-		}
-		for t := range ps.tests {
-			report.Tests = append(report.Tests, t)
-		}
-		sort.Strings(report.Tests)
-		res.Reported = append(res.Reported, report)
-		if report.Truth == confkit.SafetyUnsafe {
-			res.TruePositives++
-		} else {
-			res.FalsePositives++
-		}
+	mergeResults(res, schema, gen, itemResults, opts, opts.Distribute != nil)
+	if opts.Distribute == nil {
+		res.LeakedGoroutines = localLeaks
 	}
-	sort.Slice(res.Reported, func(i, j int) bool { return res.Reported[i].Param < res.Reported[j].Param })
-
-	reported := make(map[string]bool, len(perParam))
-	for param := range perParam {
-		reported[param] = true
-	}
-	for _, p := range schema.Params() {
-		if p.Truth == confkit.SafetyUnsafe && !reported[p.Name] && gen.InFilter(p.Name) && reachable[p.Name] {
-			res.Missed = append(res.Missed, p.Name)
-		}
-	}
-	sort.Strings(res.Missed)
 	endPhase()
 
 	res.Elapsed = time.Since(start)

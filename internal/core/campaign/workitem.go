@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"sort"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/testgen"
+	"zebraconf/internal/obs"
+)
+
+// WorkItem is one schedulable unit of phase-2 work: a pre-run unit test
+// together with its report, from which an executor derives every test
+// instance. Items are serializable, so the distributed executor can ship
+// them to worker subprocesses over the wire; IDs are indexes into the
+// pre-run order, so the same app + test subset + seed always yields the
+// same item IDs (the checkpoint journal depends on this).
+type WorkItem struct {
+	ID     int            `json:"id"`
+	Test   string         `json:"test"`
+	PreRun testgen.PreRun `json:"prerun"`
+}
+
+// BuildItems converts phase 1's pre-run reports into phase 2's work items.
+func BuildItems(pres []testgen.PreRun) []WorkItem {
+	out := make([]WorkItem, len(pres))
+	for i, pre := range pres {
+		out[i] = WorkItem{ID: i, Test: pre.Test, PreRun: pre}
+	}
+	return out
+}
+
+// InstanceVerdict is the serializable outcome of one leaf instance run.
+type InstanceVerdict struct {
+	// Instance is the testgen.Instance.String() label.
+	Instance         string  `json:"instance"`
+	Param            string  `json:"param"`
+	Verdict          string  `json:"verdict"`
+	FirstTrialSignal bool    `json:"first_trial_signal,omitempty"`
+	PValue           float64 `json:"p_value"`
+	Rounds           int     `json:"rounds,omitempty"`
+	HeteroMsg        string  `json:"hetero_msg,omitempty"`
+}
+
+// ItemResult is the serializable outcome of executing one WorkItem. The
+// merge step consumes these identically whether they were produced
+// in-process, by a worker subprocess, or replayed from a checkpoint
+// journal.
+type ItemResult struct {
+	ID   int    `json:"id"`
+	Test string `json:"test"`
+	// SkippedTest marks a pre-run test that no longer resolves (a
+	// registration inconsistency, surfaced instead of silently dropped).
+	SkippedTest bool `json:"skipped_test,omitempty"`
+	// Quarantined marks an item the distributed coordinator gave up on
+	// after repeated worker crashes or deadline kills; Error says why.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Instances counts leaf instances generated for this item.
+	Instances int `json:"instances,omitempty"`
+	// Executions counts unit-test runs this item consumed (leaf arms plus
+	// pooled heterogeneous runs).
+	Executions int64 `json:"executions,omitempty"`
+	// ReachableParams lists the parameters that produced at least one
+	// instance, sorted; the merge step uses them for the missed-parameter
+	// accounting.
+	ReachableParams []string `json:"reachable_params,omitempty"`
+	// Verdicts lists every leaf instance verdict in execution order
+	// (deterministic: item execution is sequential).
+	Verdicts []InstanceVerdict `json:"verdicts,omitempty"`
+	// LeakedGoroutines counts unit-test goroutines abandoned after a
+	// timeout while this item ran (only tracked by worker subprocesses,
+	// where items execute serially; the in-process path measures the
+	// campaign-wide delta instead).
+	LeakedGoroutines int64 `json:"leaked_goroutines,omitempty"`
+}
+
+// ExecuteItem runs every instance of one work item: generation, pooled
+// testing with recursive splitting, and leaf verdicts. It is the one
+// phase-2 execution path, shared by the in-process campaign (shared gen,
+// live onUnsafe hook driving cross-test quarantine) and the distributed
+// worker (fresh gen, nil hook, trackLeaks on). Execution within an item
+// is sequential, so the verdict order — and with it the serialized
+// ItemResult — is deterministic for a given seed.
+func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, opts Options, parent obs.SpanID, item WorkItem, onUnsafe func(testgen.Instance, runner.Result), trackLeaks bool) ItemResult {
+	o := opts.Obs
+	out := ItemResult{ID: item.ID, Test: item.Test}
+	var leakBase int64
+	if trackLeaks {
+		leakBase = harness.AbandonedGoroutines()
+	}
+	defer func() {
+		if trackLeaks {
+			out.LeakedGoroutines = harness.AbandonedGoroutines() - leakBase
+		}
+	}()
+
+	test, err := app.Test(item.Test)
+	if err != nil {
+		// A pre-run test that no longer resolves is a registration
+		// inconsistency; surface it instead of silently dropping it.
+		out.SkippedTest = true
+		o.CounterAdd(obs.MSkippedTests, 1, "app", app.Name)
+		return out
+	}
+	rep := item.PreRun.Report
+	instances := gen.Instances(item.PreRun, testgen.InstancesOptions{DisableRoundRobin: opts.DisableRoundRobin})
+	out.Instances = len(instances)
+	if len(instances) == 0 {
+		return out
+	}
+	reach := make(map[string]bool)
+	for _, inst := range instances {
+		reach[inst.Param] = true
+	}
+	for p := range reach {
+		out.ReachableParams = append(out.ReachableParams, p)
+	}
+	sort.Strings(out.ReachableParams)
+
+	markDone := func(n int) {
+		o.ProgressAddDone(int64(n))
+		o.GaugeAdd(obs.MInstancesDone, int64(n), "app", app.Name)
+	}
+	o.ProgressAddTotal(int64(len(instances)))
+	o.GaugeAdd(obs.MInstancesTotal, int64(len(instances)), "app", app.Name)
+	testSpan := o.StartSpan("test", parent,
+		obs.String("app", app.Name),
+		obs.String("test", item.Test),
+		obs.Int("item", int64(item.ID)),
+		obs.Int("instances", int64(len(instances))))
+	defer testSpan.End()
+
+	// Within this item, skip further instances of a parameter already
+	// confirmed unsafe here.
+	confirmedHere := make(map[string]bool)
+	leaf := func(parent obs.SpanID, inst testgen.Instance) {
+		defer markDone(1)
+		if confirmedHere[inst.Param] || gen.Quarantined(inst.Param) {
+			return
+		}
+		asn := gen.AssignFor(inst, &rep)
+		r := run.RunAssignmentIn(parent, test, asn, inst.String())
+		out.Executions += r.Executions
+		out.Verdicts = append(out.Verdicts, InstanceVerdict{
+			Instance:         inst.String(),
+			Param:            inst.Param,
+			Verdict:          r.Verdict.String(),
+			FirstTrialSignal: r.FirstTrialSignal,
+			PValue:           r.PValue,
+			Rounds:           r.Rounds,
+			HeteroMsg:        r.HeteroMsg,
+		})
+		if r.Verdict == runner.VerdictUnsafe {
+			confirmedHere[inst.Param] = true
+			if onUnsafe != nil {
+				onUnsafe(inst, r)
+			}
+		}
+	}
+
+	if opts.DisablePooling {
+		for _, inst := range instances {
+			leaf(testSpan.ID(), inst)
+		}
+		return out
+	}
+
+	var runPool func(parent obs.SpanID, depth int, p testgen.Pool)
+	runPool = func(parent obs.SpanID, depth int, p testgen.Pool) {
+		before := len(p.Members)
+		p = p.FilterQuarantined(gen)
+		p = filterConfirmed(p, confirmedHere)
+		if dropped := before - len(p.Members); dropped > 0 {
+			markDone(dropped)
+		}
+		switch len(p.Members) {
+		case 0:
+			return
+		case 1:
+			leaf(parent, p.Members[0])
+			return
+		}
+		span := o.StartSpan("pool", parent,
+			obs.String("app", app.Name),
+			obs.String("test", p.Test),
+			obs.Int("size", int64(len(p.Members))),
+			obs.Int("depth", int64(depth)))
+		defer span.End()
+		asn := p.Assignment(gen, &rep)
+		out.Executions++
+		if !run.RunPooledIn(span.ID(), test, asn, p.Test+"/pool") {
+			// Pooled heterogeneous run passed: all members cleared.
+			span.SetAttr(obs.Bool("cleared", true))
+			markDone(len(p.Members))
+			return
+		}
+		o.CounterAdd(obs.MPoolSplits, 1, "app", app.Name)
+		o.Observe(obs.MPoolDepth, float64(depth), "app", app.Name)
+		a, b := p.Split()
+		runPool(span.ID(), depth+1, a)
+		runPool(span.ID(), depth+1, b)
+	}
+	for _, pool := range testgen.BuildPools(item.Test, instances, opts.MaxPool) {
+		runPool(testSpan.ID(), 0, pool)
+	}
+	return out
+}
+
+// mergeResults folds item results into res — per-parameter evidence,
+// verdict statistics, reachability, skipped tests, quarantined items —
+// and scores the merged evidence against ground truth. It is the one
+// phase-3 path, shared by the in-process and distributed campaigns:
+// items are folded in ID order and every aggregate is commutative or
+// resolved by that order, so the merged Result is identical no matter
+// which worker ran which item, or whether some results were replayed
+// from a checkpoint journal. emitQuarantineMetric is set by the
+// distributed path, where no live hook counted quarantine events.
+func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator, itemResults []ItemResult, opts Options, emitQuarantineMetric bool) {
+	o := opts.Obs
+	sorted := make([]ItemResult, len(itemResults))
+	copy(sorted, itemResults)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	perParam := make(map[string]*paramStats)
+	// reachable tracks parameters that produced at least one instance: a
+	// parameter no unit test exercises cannot be found by ZebraConf by
+	// definition, so it does not count as missed (e.g. the HDFS
+	// corner-case parameters an HBase suite never reaches).
+	reachable := make(map[string]bool)
+
+	for _, it := range sorted {
+		if it.SkippedTest {
+			res.SkippedTests = append(res.SkippedTests, it.Test)
+			continue
+		}
+		if it.Quarantined {
+			res.QuarantinedItems = append(res.QuarantinedItems, it.Test)
+			continue
+		}
+		res.Counts.Executed += it.Executions
+		res.LeakedGoroutines += it.LeakedGoroutines
+		for _, p := range it.ReachableParams {
+			reachable[p] = true
+		}
+		for _, v := range it.Verdicts {
+			if v.FirstTrialSignal {
+				res.FirstTrialSignals++
+			}
+			switch v.Verdict {
+			case runner.VerdictFiltered.String():
+				res.FilteredByHypothesis++
+			case runner.VerdictHomoInvalid.String():
+				res.HomoInvalid++
+			case runner.VerdictUnsafe.String():
+				ps := perParam[v.Param]
+				if ps == nil {
+					ps = &paramStats{tests: make(map[string]bool), minP: 1}
+					perParam[v.Param] = ps
+				}
+				ps.tests[it.Test] = true
+				if v.PValue < ps.minP {
+					ps.minP = v.PValue
+				}
+				if ps.example == "" {
+					ps.example = v.HeteroMsg
+				}
+			}
+		}
+	}
+	sort.Strings(res.SkippedTests)
+	sort.Strings(res.QuarantinedItems)
+
+	for param, ps := range perParam {
+		p := schema.Lookup(param)
+		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example}
+		if p != nil {
+			report.Truth = p.Truth
+			report.Why = p.Why
+		}
+		for t := range ps.tests {
+			report.Tests = append(report.Tests, t)
+		}
+		sort.Strings(report.Tests)
+		res.Reported = append(res.Reported, report)
+		if report.Truth == confkit.SafetyUnsafe {
+			res.TruePositives++
+		} else {
+			res.FalsePositives++
+		}
+		if emitQuarantineMetric && len(ps.tests) >= opts.QuarantineThreshold {
+			o.CounterAdd(obs.MQuarantine, 1, "app", res.App)
+		}
+	}
+	sort.Slice(res.Reported, func(i, j int) bool { return res.Reported[i].Param < res.Reported[j].Param })
+
+	for _, p := range schema.Params() {
+		if p.Truth == confkit.SafetyUnsafe && perParam[p.Name] == nil && gen.InFilter(p.Name) && reachable[p.Name] {
+			res.Missed = append(res.Missed, p.Name)
+		}
+	}
+	sort.Strings(res.Missed)
+}

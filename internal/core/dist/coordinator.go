@@ -1,0 +1,670 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/obs"
+)
+
+// Defaults for worker supervision.
+const (
+	// DefaultItemTimeout bounds one work item's wall clock as seen by the
+	// coordinator (dispatch to result). Items run whole unit-test trees,
+	// so this is generous; the harness's own per-test timeout fires long
+	// before it unless the worker itself is wedged.
+	DefaultItemTimeout = 10 * time.Minute
+	// DefaultItemRetries is how many times a crashed or timed-out item is
+	// requeued (on a fresh worker) before the coordinator gives up and
+	// quarantines it.
+	DefaultItemRetries = 2
+	// spawnFailureLimit is how many consecutive failed launches kill a
+	// worker slot for good.
+	spawnFailureLimit = 3
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// App is the application name sent to workers in the init message.
+	App string
+	// Workers is the number of worker slots (subprocesses kept alive at
+	// once). Zero means 1.
+	Workers int
+	// WorkerCmd builds the command for one worker subprocess, typically
+	// `os.Executable() -worker`. Called again for every respawn.
+	WorkerCmd func() *exec.Cmd
+	// Config is the campaign configuration shipped to every worker.
+	Config Config
+	// CheckpointPath, when set, journals every completed item so a later
+	// run can -resume. ResumePath, when set, replays a journal's completed
+	// items instead of re-executing them; the two may name the same file.
+	CheckpointPath string
+	ResumePath     string
+	// ItemTimeout bounds one item's dispatch-to-result wall clock; a
+	// worker holding an overdue item is killed. Zero means
+	// DefaultItemTimeout.
+	ItemTimeout time.Duration
+	// ItemRetries bounds requeues per item before quarantine. Zero
+	// disables retries; negative means DefaultItemRetries.
+	ItemRetries int
+	// MaxItems, when positive, halts the run after that many items
+	// complete — a testing hook for exercising checkpoint/resume.
+	MaxItems int
+	// Obs receives the coordinator's metrics, spans, and the progress /
+	// verdict replay of worker results. Nil disables observability.
+	Obs *obs.Observer
+	// Stderr, when non-nil, receives worker stderr (for diagnosis).
+	Stderr io.Writer
+}
+
+// Coordinator shards work items across worker subprocesses.
+type Coordinator struct {
+	opts Options
+}
+
+// New builds a Coordinator. Option defaults are resolved at Execute time.
+func New(opts Options) *Coordinator {
+	return &Coordinator{opts: opts}
+}
+
+// Execute runs the items to completion (or MaxItems, or unrecoverable
+// worker loss) and returns one ItemResult per completed item — including
+// items replayed from ResumePath and items quarantined after exhausting
+// retries — sorted by item ID.
+func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]campaign.ItemResult, error) {
+	if c.opts.WorkerCmd == nil {
+		return nil, errors.New("dist: Coordinator requires WorkerCmd")
+	}
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	o := c.opts.Obs
+	span := o.StartSpan("distribute", parent,
+		obs.String("app", c.opts.App),
+		obs.Int("workers", int64(workers)),
+		obs.Int("items", int64(len(items))))
+	defer span.End()
+
+	r := &crun{
+		opts:    c.opts,
+		workers: workers,
+		o:       o,
+		span:    span,
+	}
+	if r.opts.ItemTimeout <= 0 {
+		r.opts.ItemTimeout = DefaultItemTimeout
+	}
+	if r.opts.ItemRetries < 0 {
+		r.opts.ItemRetries = DefaultItemRetries
+	}
+	return r.execute(items)
+}
+
+// crun is the state of one Execute call.
+type crun struct {
+	opts    Options
+	workers int
+	o       *obs.Observer
+	span    *obs.Span
+	journal *Journal
+	q       *queue
+
+	mu          sync.Mutex
+	results     map[int]campaign.ItemResult
+	attempts    map[int]int
+	completions int // unique pending items resolved this run
+	pendingN    int
+	live        int // worker slots not yet permanently dead
+	lastFailure string
+	failErr     error
+	finished    bool
+	halted      bool
+	doneCh      chan struct{}
+}
+
+func (r *crun) execute(items []campaign.WorkItem) ([]campaign.ItemResult, error) {
+	resumed, err := r.loadResume(items)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.openCheckpoint(items, resumed); err != nil {
+		return nil, err
+	}
+	if r.journal != nil {
+		defer r.journal.Close()
+	}
+
+	var pending []campaign.WorkItem
+	for _, it := range items {
+		if _, done := resumed[it.ID]; !done {
+			pending = append(pending, it)
+		}
+	}
+	r.results = make(map[int]campaign.ItemResult, len(pending))
+	r.attempts = make(map[int]int)
+	r.pendingN = len(pending)
+	r.live = r.workers
+	r.doneCh = make(chan struct{})
+
+	if len(pending) > 0 {
+		r.q = newQueue(r.workers, pending)
+		r.o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", r.opts.App)
+		var wg sync.WaitGroup
+		for slot := 0; slot < r.workers; slot++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				r.supervise(slot)
+			}(slot)
+		}
+		wg.Wait()
+		r.o.GaugeSet(obs.MQueueDepth, 0, "app", r.opts.App)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.failErr != nil && r.completions < r.pendingN && !r.halted {
+		return nil, r.failErr
+	}
+	out := make([]campaign.ItemResult, 0, len(resumed)+len(r.results))
+	for _, res := range resumed {
+		out = append(out, *res)
+	}
+	for _, res := range r.results {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// loadResume replays the resume journal's completed items and validates
+// that the journal belongs to this exact campaign (app, seed, item count
+// — item IDs are indexes into the pre-run order, so any mismatch would
+// silently misattribute results).
+func (r *crun) loadResume(items []campaign.WorkItem) (map[int]*campaign.ItemResult, error) {
+	if r.opts.ResumePath == "" {
+		return nil, nil
+	}
+	recs, err := ReadJournal(r.opts.ResumePath)
+	if err != nil {
+		return nil, err
+	}
+	resumed := make(map[int]*campaign.ItemResult)
+	headers := 0
+	for _, rec := range recs {
+		switch rec.Kind {
+		case KindHeader:
+			headers++
+			if rec.App != r.opts.App || rec.Seed != r.opts.Config.Seed || rec.Items != len(items) {
+				return nil, fmt.Errorf(
+					"dist: checkpoint %s is for app=%s seed=%d items=%d, not app=%s seed=%d items=%d",
+					r.opts.ResumePath, rec.App, rec.Seed, rec.Items,
+					r.opts.App, r.opts.Config.Seed, len(items))
+			}
+		case KindDone:
+			if rec.Result != nil {
+				res := *rec.Result
+				resumed[res.ID] = &res
+			}
+		}
+	}
+	if headers == 0 {
+		return nil, fmt.Errorf("dist: checkpoint %s has no header record", r.opts.ResumePath)
+	}
+	r.o.CounterAdd(obs.MItemsResumed, int64(len(resumed)), "app", r.opts.App)
+	r.span.SetAttr(obs.Int("resumed", int64(len(resumed))))
+	return resumed, nil
+}
+
+// openCheckpoint opens the checkpoint journal and appends this session's
+// header. When resuming into a different file, the resumed results are
+// re-journaled so the new checkpoint is self-contained.
+func (r *crun) openCheckpoint(items []campaign.WorkItem, resumed map[int]*campaign.ItemResult) error {
+	if r.opts.CheckpointPath == "" {
+		return nil
+	}
+	j, err := OpenJournal(r.opts.CheckpointPath, 0)
+	if err != nil {
+		return err
+	}
+	r.journal = j
+	if err := j.Append(Record{Kind: KindHeader, App: r.opts.App, Seed: r.opts.Config.Seed, Items: len(items)}); err != nil {
+		return err
+	}
+	sameFile := r.opts.ResumePath != "" &&
+		filepath.Clean(r.opts.ResumePath) == filepath.Clean(r.opts.CheckpointPath)
+	if len(resumed) > 0 && !sameFile {
+		ids := make([]int, 0, len(resumed))
+		for id := range resumed {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			res := resumed[id]
+			if err := j.Append(Record{Kind: KindDone, Item: res.ID, Test: res.Test, Result: res}); err != nil {
+				return err
+			}
+		}
+	}
+	return j.Sync()
+}
+
+// sessionOutcome classifies why one worker session ended.
+type sessionOutcome int
+
+const (
+	sessDone      sessionOutcome = iota // run finished or halted; slot retires
+	sessCrashed                         // worker lost after doing work; respawn
+	sessSpawnFail                       // worker never became ready; counts toward slot death
+)
+
+// supervise owns one worker slot: spawn, run a session, respawn on crash,
+// retire the slot after spawnFailureLimit consecutive failed launches.
+func (r *crun) supervise(slot int) {
+	fails := 0
+	for {
+		if r.stopped() {
+			return
+		}
+		sess, err := r.spawn(slot)
+		if err != nil {
+			r.o.CounterAdd(obs.MWorkerCrashes, 1, "app", r.opts.App, "reason", "spawn")
+			r.noteFailure(err.Error())
+			fails++
+			if fails >= spawnFailureLimit {
+				r.slotDied()
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch r.session(slot, sess) {
+		case sessDone:
+			return
+		case sessCrashed:
+			fails = 0
+		case sessSpawnFail:
+			fails++
+			if fails >= spawnFailureLimit {
+				r.slotDied()
+				return
+			}
+		}
+	}
+}
+
+// session drives one live worker until the run completes, the worker is
+// lost, or it never becomes ready.
+func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
+	o := r.o
+	app := r.opts.App
+	wspan := o.StartSpan("worker", r.span.ID(),
+		obs.String("app", app), obs.Int("slot", int64(slot)))
+	defer wspan.End()
+
+	parallel := r.opts.Config.Parallel
+	if parallel <= 0 {
+		parallel = DefaultWorkerParallel
+	}
+	type entry struct {
+		item  campaign.WorkItem
+		start time.Time
+	}
+	inflight := make(map[int]entry)
+	ready := false
+	spawned := time.Now()
+	itemsDone := 0
+
+	// crash tears the session down after the worker is lost: every
+	// inflight item is penalized (it may be what killed the worker).
+	crash := func(reason string) sessionOutcome {
+		sess.kill()
+		o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", reason)
+		wspan.SetAttr(obs.String("end", reason), obs.Int("items", int64(itemsDone)))
+		for _, e := range inflight {
+			r.retryOrGiveUp(slot, e.item, reason)
+		}
+		return sessCrashed
+	}
+
+	tickEvery := r.opts.ItemTimeout / 8
+	if tickEvery > time.Second {
+		tickEvery = time.Second
+	} else if tickEvery < 5*time.Millisecond {
+		tickEvery = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+
+	for {
+		if ready && !r.stopped() {
+			for len(inflight) < parallel {
+				item, stolen, ok := r.q.tryPop(slot)
+				if !ok {
+					break
+				}
+				if stolen {
+					o.CounterAdd(obs.MSteals, 1, "app", app)
+				}
+				o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", app)
+				if err := sess.send(Msg{Type: MsgRun, Item: &item}); err != nil {
+					// The item never reached the worker; requeue it for
+					// free and treat the broken pipe as a crash.
+					r.q.requeue(slot, item)
+					return crash("crash")
+				}
+				inflight[item.ID] = entry{item: item, start: time.Now()}
+			}
+		}
+		if r.stopped() {
+			// Complete, halted, or failed elsewhere. All results are
+			// either in or abandoned with the run; drop the worker.
+			sess.bye(len(inflight) == 0)
+			wspan.SetAttr(obs.String("end", "done"), obs.Int("items", int64(itemsDone)))
+			return sessDone
+		}
+
+		select {
+		case m, ok := <-sess.msgs:
+			if !ok {
+				if !ready {
+					sess.kill()
+					r.noteFailure("worker exited before ready")
+					return sessSpawnFail
+				}
+				return crash("crash")
+			}
+			switch m.Type {
+			case MsgReady:
+				if m.Error != "" {
+					sess.kill()
+					r.noteFailure(m.Error)
+					return sessSpawnFail
+				}
+				ready = true
+				wspan.SetAttr(obs.Int("pid", int64(m.PID)))
+			case MsgResult:
+				if m.Result == nil {
+					return crash("crash")
+				}
+				e, known := inflight[m.Result.ID]
+				if !known {
+					break
+				}
+				delete(inflight, m.Result.ID)
+				itemsDone++
+				r.recordResult(slot, *m.Result, time.Since(e.start))
+			}
+		case <-tick.C:
+			if !ready {
+				if time.Since(spawned) > r.opts.ItemTimeout {
+					sess.kill()
+					r.noteFailure("worker not ready within item timeout")
+					return sessSpawnFail
+				}
+				break
+			}
+			now := time.Now()
+			for id, e := range inflight {
+				if now.Sub(e.start) <= r.opts.ItemTimeout {
+					continue
+				}
+				// The overdue item is the suspect: it alone is penalized.
+				// The worker is killed (the item's goroutine cannot be),
+				// so the other inflight items requeue for free.
+				sess.kill()
+				delete(inflight, id)
+				r.retryOrGiveUp(slot, e.item, "timeout")
+				for _, other := range inflight {
+					r.q.requeue(slot, other.item)
+				}
+				o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", "timeout")
+				wspan.SetAttr(obs.String("end", "timeout"), obs.Int("items", int64(itemsDone)))
+				return sessCrashed
+			}
+		case <-r.q.wake:
+		case <-r.doneCh:
+		}
+	}
+}
+
+// recordResult journals and accounts one completed item, replaying its
+// observable campaign signals (progress, verdict counters) that the
+// worker process could not record itself.
+func (r *crun) recordResult(slot int, res campaign.ItemResult, elapsed time.Duration) {
+	r.mu.Lock()
+	_, dup := r.results[res.ID]
+	if !dup {
+		r.results[res.ID] = res
+		r.completions++
+	}
+	r.mu.Unlock()
+	r.q.done()
+	if dup {
+		// A timeout kill raced with this item's completion and the retry
+		// also finished; execution is deterministic, so the copies agree.
+		return
+	}
+	if r.journal != nil {
+		if err := r.journal.Append(Record{Kind: KindDone, Item: res.ID, Test: res.Test, Result: &res}); err != nil {
+			r.noteFailure("checkpoint write failed: " + err.Error())
+		}
+	}
+	o, app := r.o, r.opts.App
+	o.CounterAdd(obs.MWorkerItems, 1, "app", app, "worker", strconv.Itoa(slot))
+	o.Observe(obs.MItemSeconds, elapsed.Seconds(), "app", app)
+	o.CounterAdd(obs.MItemExecutions, res.Executions, "app", app)
+	o.ProgressAddTotal(int64(res.Instances))
+	o.ProgressAddDone(int64(res.Instances))
+	o.ProgressAddExecutions(res.Executions)
+	o.GaugeAdd(obs.MInstancesTotal, int64(res.Instances), "app", app)
+	o.GaugeAdd(obs.MInstancesDone, int64(res.Instances), "app", app)
+	for _, v := range res.Verdicts {
+		o.RecordVerdict(app, v.Verdict, v.FirstTrialSignal)
+	}
+	if res.LeakedGoroutines > 0 {
+		o.CounterAdd(obs.MAbandonedGoroutines, res.LeakedGoroutines, "app", app, "test", res.Test)
+	}
+	r.maybeFinish()
+}
+
+// retryOrGiveUp charges one failed attempt to an item: requeue it for a
+// fresh worker, or — past the retry budget — quarantine it with a
+// fabricated result so the campaign report surfaces the coverage gap.
+func (r *crun) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
+	r.mu.Lock()
+	r.attempts[item.ID]++
+	n := r.attempts[item.ID]
+	r.mu.Unlock()
+	if n <= r.opts.ItemRetries {
+		r.o.CounterAdd(obs.MItemRetries, 1, "app", r.opts.App)
+		r.q.requeue(slot, item)
+		return
+	}
+	res := campaign.ItemResult{
+		ID:          item.ID,
+		Test:        item.Test,
+		Quarantined: true,
+		Error:       fmt.Sprintf("abandoned after %d attempts (last failure: %s)", n, reason),
+	}
+	if r.journal != nil {
+		if err := r.journal.Append(Record{Kind: KindGiveUp, Item: item.ID, Test: item.Test, Reason: reason}); err != nil {
+			r.noteFailure("checkpoint write failed: " + err.Error())
+		}
+	}
+	r.mu.Lock()
+	if _, dup := r.results[res.ID]; !dup {
+		r.results[res.ID] = res
+		r.completions++
+	}
+	r.mu.Unlock()
+	r.q.done()
+	r.o.CounterAdd(obs.MItemsQuarantined, 1, "app", r.opts.App)
+	r.maybeFinish()
+}
+
+// maybeFinish closes the run when every pending item is resolved, or
+// when the MaxItems testing hook trips.
+func (r *crun) maybeFinish() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return
+	}
+	if r.completions >= r.pendingN {
+		r.finished = true
+		close(r.doneCh)
+		return
+	}
+	if r.opts.MaxItems > 0 && r.completions >= r.opts.MaxItems {
+		r.finished = true
+		r.halted = true
+		close(r.doneCh)
+	}
+}
+
+func (r *crun) stopped() bool {
+	select {
+	case <-r.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *crun) noteFailure(msg string) {
+	r.mu.Lock()
+	r.lastFailure = msg
+	r.mu.Unlock()
+}
+
+// slotDied retires a worker slot permanently; when the last slot dies
+// with work remaining, the run fails.
+func (r *crun) slotDied() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.live--
+	if r.live > 0 || r.finished {
+		return
+	}
+	r.failErr = fmt.Errorf("dist: all %d worker slots failed (last failure: %s)", r.workers, r.lastFailure)
+	r.finished = true
+	close(r.doneCh)
+}
+
+// workerSession is one live worker subprocess as seen by the coordinator.
+type workerSession struct {
+	cmd        *exec.Cmd
+	stdin      io.WriteCloser
+	msgs       chan Msg
+	readerDone chan struct{}
+	killOnce   sync.Once
+	sendMu     sync.Mutex
+}
+
+// spawn launches a worker subprocess and sends it the init message.
+func (r *crun) spawn(slot int) (*workerSession, error) {
+	cmd := r.opts.WorkerCmd()
+	if cmd == nil {
+		return nil, errors.New("dist: WorkerCmd returned nil")
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Stderr != nil {
+		cmd.Stderr = r.opts.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	r.o.CounterAdd(obs.MWorkerSpawns, 1, "app", r.opts.App, "worker", strconv.Itoa(slot))
+	s := &workerSession{
+		cmd:        cmd,
+		stdin:      stdin,
+		msgs:       make(chan Msg, 64),
+		readerDone: make(chan struct{}),
+	}
+	go s.readLoop(stdout)
+	cfg := r.opts.Config
+	if err := s.send(Msg{Type: MsgInit, App: r.opts.App, Config: &cfg}); err != nil {
+		s.kill()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *workerSession) send(m Msg) error {
+	line, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	_, err = s.stdin.Write(append(line, '\n'))
+	return err
+}
+
+// readLoop streams worker messages into s.msgs until EOF or a corrupt
+// line (a worker that has lost protocol framing is as good as dead).
+func (s *workerSession) readLoop(stdout io.Reader) {
+	defer close(s.readerDone)
+	defer close(s.msgs)
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		var m Msg
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return
+		}
+		s.msgs <- m
+	}
+}
+
+// bye ends a session cleanly when possible: with nothing inflight, ask
+// the worker to drain and exit, give it a moment, then reap.
+func (s *workerSession) bye(clean bool) {
+	if clean {
+		if err := s.send(Msg{Type: MsgBye}); err == nil {
+			select {
+			case <-s.readerDone:
+			case <-time.After(2 * time.Second):
+			}
+		}
+	}
+	s.kill()
+}
+
+// kill tears the worker down: close its stdin, kill the process, and
+// reap it once the reader has drained. Idempotent. The session loop
+// never reads msgs after calling kill, so the reaper drains the channel
+// to unblock the reader.
+func (s *workerSession) kill() {
+	s.killOnce.Do(func() {
+		s.stdin.Close()
+		if s.cmd.Process != nil {
+			s.cmd.Process.Kill()
+		}
+		go func() {
+			for range s.msgs {
+			}
+			<-s.readerDone
+			s.cmd.Wait()
+		}()
+	})
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/campaign"
+)
+
+func mkItems(n int) []campaign.WorkItem {
+	items := make([]campaign.WorkItem, n)
+	for i := range items {
+		items[i] = campaign.WorkItem{ID: i, Test: "T"}
+	}
+	return items
+}
+
+func TestQueueShardsRoundRobin(t *testing.T) {
+	t.Parallel()
+	q := newQueue(2, mkItems(4))
+	// Worker 0's shard is items 0, 2; worker 1's is 1, 3.
+	for _, want := range []int{0, 2} {
+		item, stolen, ok := q.tryPop(0)
+		if !ok || stolen || item.ID != want {
+			t.Fatalf("tryPop(0) = %d stolen=%v ok=%v, want %d from own shard", item.ID, stolen, ok, want)
+		}
+	}
+	// Worker 0's shard is dry: the next pop steals from the BACK of
+	// worker 1's shard.
+	item, stolen, ok := q.tryPop(0)
+	if !ok || !stolen || item.ID != 3 {
+		t.Fatalf("tryPop(0) = %d stolen=%v ok=%v, want steal of 3", item.ID, stolen, ok)
+	}
+	if q.stealCount() != 1 {
+		t.Fatalf("steals = %d, want 1", q.stealCount())
+	}
+	if item, _, _ := q.tryPop(1); item.ID != 1 {
+		t.Fatalf("victim's own front = %d, want 1 (steal must not disturb it)", item.ID)
+	}
+	if _, _, ok := q.tryPop(0); ok {
+		t.Fatal("empty queue still pops")
+	}
+	if q.idle() {
+		t.Fatal("idle with 4 outstanding items")
+	}
+	for i := 0; i < 4; i++ {
+		q.done()
+	}
+	if !q.idle() {
+		t.Fatal("not idle after all items done")
+	}
+}
+
+func TestQueueRequeuePrefersOtherShard(t *testing.T) {
+	t.Parallel()
+	q := newQueue(2, mkItems(2))
+	item, _, _ := q.tryPop(0)
+	q.requeue(0, item)
+	// The retry must land where a different worker pops it first.
+	got, stolen, ok := q.tryPop(1)
+	if !ok || stolen {
+		t.Fatalf("retry not on worker 1's own shard (stolen=%v ok=%v)", stolen, ok)
+	}
+	if got.ID != 1 {
+		// Shard 1 already held item 1; the retry is behind it.
+		t.Fatalf("front of shard 1 = %d, want 1", got.ID)
+	}
+	if got, _, _ := q.tryPop(1); got.ID != item.ID {
+		t.Fatalf("retry = %d, want %d", got.ID, item.ID)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j, err := OpenJournal(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindHeader, App: "a", Seed: 7, Items: 3},
+		{Kind: KindDone, Item: 1, Test: "T1", Result: &campaign.ItemResult{ID: 1, Test: "T1", Executions: 5}},
+		{Kind: KindGiveUp, Item: 2, Test: "T2", Reason: "timeout"},
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestJournalToleratesTornTail(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"kind":"header","app":"a","items":1}` + "\n" +
+		`{"kind":"done","item":0,"resul` // crash mid-append
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(got) != 1 || got[0].Kind != KindHeader {
+		t.Fatalf("records = %+v, want just the header", got)
+	}
+}
+
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	content := `{"kind":"header"}` + "\n" + `not json` + "\n" + `{"kind":"done"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("corrupt mid-file record accepted")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	t.Parallel()
+	opts := campaign.Options{
+		MaxPool:           4,
+		DisablePooling:    true,
+		DisableRoundRobin: true,
+		DisableGate:       true,
+		Strategy:          agent.StrategyThreadOnly,
+		Params:            []string{"a", "b"},
+		Significance:      0.001,
+		MaxRounds:         5,
+		Seed:              99,
+	}
+	got := ConfigFrom(opts).CampaignOptions()
+	if !reflect.DeepEqual(got, opts) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, opts)
+	}
+}

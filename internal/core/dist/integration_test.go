@@ -1,0 +1,308 @@
+package dist_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/obs"
+)
+
+// TestMain doubles the test binary as the worker subprocess: with
+// ZEBRACONF_DIST_WORKER=1 it speaks the wire protocol on stdio instead
+// of running tests (the standard helper-process pattern). Two fault
+// modes are injected by further env vars:
+//
+//	ZEBRACONF_DIST_KILL_AFTER=N  SIGKILL self after writing N stdout lines
+//	ZEBRACONF_DIST_HANG=1        acknowledge init, then never answer runs
+func TestMain(m *testing.M) {
+	if os.Getenv("ZEBRACONF_DIST_WORKER") == "1" {
+		runWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runWorker() {
+	if os.Getenv("ZEBRACONF_DIST_HANG") == "1" {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Scan() // init
+		fmt.Printf("{\"type\":\"ready\",\"pid\":%d}\n", os.Getpid())
+		for sc.Scan() {
+		} // swallow run messages forever
+		os.Exit(0)
+	}
+	var w interface {
+		Write([]byte) (int, error)
+	} = os.Stdout
+	if n, _ := strconv.Atoi(os.Getenv("ZEBRACONF_DIST_KILL_AFTER")); n > 0 {
+		w = &killAfterWriter{w: os.Stdout, linesLeft: int32(n)}
+	}
+	if err := dist.ServeWorker(os.Stdin, w, apps.ByName); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// killAfterWriter lets N lines through, then SIGKILLs the process — the
+// result reaches the coordinator, the worker dies uncleanly right after,
+// exactly like a machine lost mid-campaign.
+type killAfterWriter struct {
+	w         *os.File
+	linesLeft int32
+}
+
+func (k *killAfterWriter) Write(p []byte) (int, error) {
+	n, err := k.w.Write(p)
+	if atomic.AddInt32(&k.linesLeft, -int32(bytes.Count(p, []byte{'\n'}))) <= 0 {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	}
+	return n, err
+}
+
+func workerFactory(env ...string) func() *exec.Cmd {
+	return func() *exec.Cmd {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "ZEBRACONF_DIST_WORKER=1")
+		cmd.Env = append(cmd.Env, env...)
+		return cmd
+	}
+}
+
+// subsetOptions is a small deterministic minihdfs slice: one test with
+// real instances (TestWriteRead x checksum parameters) plus two tests
+// that pre-run to zero instances, giving three work items.
+func subsetOptions(seed int64, o *obs.Observer) campaign.Options {
+	return campaign.Options{
+		Params: []string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+		Tests:  []string{"TestWriteRead", "TestFsck", "TestMkdirList"},
+		Seed:   seed,
+		Obs:    o,
+	}
+}
+
+func minihdfs(t *testing.T) *harness.App {
+	t.Helper()
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+// runDistributed runs a campaign with phase 2 executed by a Coordinator.
+func runDistributed(t *testing.T, app *harness.App, opts campaign.Options, dopts dist.Options) *campaign.Result {
+	t.Helper()
+	dopts.App = app.Name
+	dopts.Config = dist.ConfigFrom(opts)
+	dopts.Obs = opts.Obs
+	coord := dist.New(dopts)
+	var execErr error
+	opts.Distribute = func(parent obs.SpanID, items []campaign.WorkItem) []campaign.ItemResult {
+		res, err := coord.Execute(parent, items)
+		if err != nil {
+			execErr = err
+		}
+		return res
+	}
+	res := campaign.Run(app, opts)
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	return res
+}
+
+// TestDistributedMatchesLocal is the core equivalence property: sharding
+// phase 2 across worker subprocesses must report the same parameters,
+// truth labels, and execution counts as the in-process pool on the same
+// seed.
+func TestDistributedMatchesLocal(t *testing.T) {
+	t.Parallel()
+	app := minihdfs(t)
+	local := campaign.Run(app, subsetOptions(11, nil))
+	distRes := runDistributed(t, app, subsetOptions(11, nil), dist.Options{
+		Workers:   2,
+		WorkerCmd: workerFactory(),
+	})
+
+	if !reflect.DeepEqual(distRes.Reported, local.Reported) {
+		t.Fatalf("reported parameters diverge:\n dist  %+v\n local %+v", distRes.Reported, local.Reported)
+	}
+	if distRes.Counts.Executed != local.Counts.Executed {
+		t.Fatalf("executions diverge: dist %d, local %d", distRes.Counts.Executed, local.Counts.Executed)
+	}
+	if distRes.FirstTrialSignals != local.FirstTrialSignals ||
+		distRes.FilteredByHypothesis != local.FilteredByHypothesis ||
+		distRes.HomoInvalid != local.HomoInvalid {
+		t.Fatalf("verdict statistics diverge: dist %+v, local %+v", distRes, local)
+	}
+	if len(local.Reported) == 0 {
+		t.Fatal("subset campaign reported nothing; the equivalence check is vacuous")
+	}
+}
+
+// TestWorkerKillThenResumeByteIdentical SIGKILLs workers mid-campaign,
+// halts the coordinator, resumes from the checkpoint, and requires the
+// resumed campaign's merged result to be byte-identical to an
+// uninterrupted workers=1 run on the same seed — with the checkpointed
+// items provably not re-executed (the executions counter only counts
+// work done this run).
+func TestWorkerKillThenResumeByteIdentical(t *testing.T) {
+	t.Parallel()
+	app := minihdfs(t)
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	const seed = 23
+
+	// Reference: uninterrupted single-worker distributed run.
+	refObs := obs.New()
+	ref := runDistributed(t, app, subsetOptions(seed, refObs), dist.Options{
+		Workers:   1,
+		WorkerCmd: workerFactory(),
+	})
+	refExec := refObs.Metrics.CounterValue(obs.MItemExecutions, "app", app.Name)
+
+	// Interrupted run: every worker is SIGKILLed after its first result
+	// (stdout line 2: ready, then one result); the coordinator halts via
+	// MaxItems after two completions, leaving the third item undone.
+	killObs := obs.New()
+	runDistributed(t, app, subsetOptions(seed, killObs), dist.Options{
+		Workers:        1,
+		WorkerCmd:      workerFactory("ZEBRACONF_DIST_KILL_AFTER=2"),
+		CheckpointPath: ck,
+		MaxItems:       2,
+	})
+	if n := killObs.Metrics.CounterValue(obs.MWorkerCrashes, "app", app.Name, "reason", "crash"); n < 1 {
+		t.Fatalf("worker crashes = %d, want >= 1 (the SIGKILL was not observed)", n)
+	}
+
+	recs, err := dist.ReadJournal(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneItems int64
+	var doneExec int64
+	for _, rec := range recs {
+		if rec.Kind == dist.KindDone && rec.Result != nil {
+			doneItems++
+			doneExec += rec.Result.Executions
+		}
+	}
+	if doneItems == 0 || doneItems >= 3 {
+		t.Fatalf("checkpointed items = %d, want a strict subset of the 3 items", doneItems)
+	}
+
+	// Resume: checkpointed items must be replayed, not re-executed.
+	resObs := obs.New()
+	resumed := runDistributed(t, app, subsetOptions(seed, resObs), dist.Options{
+		Workers:    1,
+		WorkerCmd:  workerFactory(),
+		ResumePath: ck,
+	})
+	if n := resObs.Metrics.CounterValue(obs.MItemsResumed, "app", app.Name); n != doneItems {
+		t.Fatalf("items resumed = %d, want %d", n, doneItems)
+	}
+	gotExec := resObs.Metrics.CounterValue(obs.MItemExecutions, "app", app.Name)
+	if gotExec != refExec-doneExec {
+		t.Fatalf("resumed run executed %d unit tests, want %d (total %d minus %d checkpointed)",
+			gotExec, refExec-doneExec, refExec, doneExec)
+	}
+
+	ref.Elapsed, resumed.Elapsed = 0, 0
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, resJSON) {
+		t.Fatalf("merged results diverge after kill+resume:\n ref    %s\n resume %s", refJSON, resJSON)
+	}
+}
+
+// TestHangingItemsAreQuarantined drives the per-item deadline: a worker
+// that never answers is killed, the item retried on a fresh worker, and
+// after the retry budget the item is quarantined with the campaign
+// completing anyway.
+func TestHangingItemsAreQuarantined(t *testing.T) {
+	t.Parallel()
+	o := obs.New()
+	items := []campaign.WorkItem{{ID: 0, Test: "TestA"}, {ID: 1, Test: "TestB"}}
+	coord := dist.New(dist.Options{
+		App:         "minihdfs",
+		Workers:     1,
+		WorkerCmd:   workerFactory("ZEBRACONF_DIST_HANG=1"),
+		ItemTimeout: 150 * time.Millisecond,
+		ItemRetries: 1,
+		Obs:         o,
+	})
+	res, err := coord.Execute(obs.NoSpan, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2 quarantined placeholders", len(res))
+	}
+	for _, r := range res {
+		if !r.Quarantined || r.Error == "" {
+			t.Fatalf("item %d not quarantined: %+v", r.ID, r)
+		}
+	}
+	if n := o.Metrics.CounterValue(obs.MItemsQuarantined, "app", "minihdfs"); n != 2 {
+		t.Fatalf("quarantined counter = %d, want 2", n)
+	}
+	if n := o.Metrics.CounterValue(obs.MItemRetries, "app", "minihdfs"); n < 1 {
+		t.Fatalf("retries = %d, want >= 1 (each item gets one fresh-worker retry)", n)
+	}
+	if n := o.Metrics.CounterValue(obs.MWorkerCrashes, "app", "minihdfs", "reason", "timeout"); n < 1 {
+		t.Fatalf("timeout kills = %d, want >= 1", n)
+	}
+}
+
+// TestAllSlotsFailing verifies the unrecoverable case: when every worker
+// slot burns its spawn budget, Execute fails instead of hanging.
+func TestAllSlotsFailing(t *testing.T) {
+	t.Parallel()
+	coord := dist.New(dist.Options{
+		App:     "minihdfs",
+		Workers: 2,
+		WorkerCmd: func() *exec.Cmd {
+			return exec.Command("/nonexistent/zebraconf-worker")
+		},
+	})
+	if _, err := coord.Execute(obs.NoSpan, []campaign.WorkItem{{ID: 0, Test: "T"}}); err == nil {
+		t.Fatal("Execute succeeded with no spawnable workers")
+	}
+}
+
+// TestUnknownAppFailsCleanly covers the ready-with-error handshake: the
+// worker process starts but cannot resolve the app, reports the reason,
+// and the coordinator gives up with it instead of respawning forever.
+func TestUnknownAppFailsCleanly(t *testing.T) {
+	t.Parallel()
+	coord := dist.New(dist.Options{
+		App:       "no-such-app",
+		Workers:   1,
+		WorkerCmd: workerFactory(),
+	})
+	_, err := coord.Execute(obs.NoSpan, []campaign.WorkItem{{ID: 0, Test: "T"}})
+	if err == nil {
+		t.Fatal("Execute succeeded for an unresolvable app")
+	}
+}

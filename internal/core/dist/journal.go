@@ -1,0 +1,149 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"zebraconf/internal/core/campaign"
+)
+
+// Journal record kinds.
+const (
+	// KindHeader identifies the campaign a journal belongs to; one is
+	// appended every time the journal is opened, so a resumed-and-
+	// continued file carries one per session.
+	KindHeader = "header"
+	// KindDone records one completed work item with its full result;
+	// these are the records -resume replays.
+	KindDone = "done"
+	// KindGiveUp records an item the coordinator quarantined after
+	// exhausting its retry budget. Informational: a resumed run retries
+	// such items (the crashes may have been environmental).
+	KindGiveUp = "give-up"
+)
+
+// Record is one journal line.
+type Record struct {
+	Kind string `json:"kind"`
+	// Header fields.
+	App   string `json:"app,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	Items int    `json:"items,omitempty"`
+	// Done / give-up fields.
+	Item   int                  `json:"item,omitempty"`
+	Test   string               `json:"test,omitempty"`
+	Reason string               `json:"reason,omitempty"`
+	Result *campaign.ItemResult `json:"result,omitempty"`
+}
+
+// Journal is the crash-safe checkpoint log: JSONL, append-only, fsync'd
+// every SyncEvery records (and on Close), so at most one batch of work
+// is re-executed after a coordinator crash and a torn final line is the
+// worst possible corruption.
+type Journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	pending   int
+	syncEvery int
+}
+
+// DefaultSyncEvery batches this many appends per fsync.
+const DefaultSyncEvery = 8
+
+// OpenJournal opens (creating or appending) the journal at path.
+// syncEvery <= 0 selects DefaultSyncEvery.
+func OpenJournal(path string, syncEvery int) (*Journal, error) {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), syncEvery: syncEvery}, nil
+}
+
+// Append writes one record and fsyncs if the batch is full.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dist: marshal journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	j.pending++
+	if j.pending >= j.syncEvery {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Sync flushes and fsyncs any pending records.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	syncErr := j.syncLocked()
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	return syncErr
+}
+
+// ReadJournal loads every record from path. A torn final line — the
+// signature of a crash mid-append — is tolerated and dropped; a corrupt
+// line anywhere else is an error, because it means the file is not the
+// journal we wrote.
+func ReadJournal(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: read journal: %w", err)
+	}
+	defer f.Close()
+
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	torn := -1 // line number of a parse failure, tolerated only at EOF
+	for sc.Scan() {
+		line++
+		if torn >= 0 {
+			return nil, fmt.Errorf("dist: journal %s: corrupt record at line %d", path, torn)
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			torn = line
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: read journal %s: %w", path, err)
+	}
+	return out, nil
+}

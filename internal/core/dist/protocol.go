@@ -1,0 +1,102 @@
+// Package dist is ZebraConf's distributed campaign executor: a
+// coordinator that shards a campaign's phase-2 work items across a pool
+// of worker subprocesses (`zebraconf -worker`), speaking newline-
+// delimited JSON over stdin/stdout. It is the analog of the paper's
+// 100-machine × 20-container CloudLab fleet (§4 "Test in parallel"): test
+// instances are independent, so isolation is cheap — and unlike the
+// in-process pool, a worker that hangs or corrupts itself can simply be
+// killed and replaced without poisoning the rest of the campaign.
+//
+// The coordinator owns a sharded work queue with work stealing, a
+// crash-safe JSONL checkpoint journal (completed items are appended and
+// fsync'd in batches, so -resume skips them and reproduces the identical
+// merged result), and worker supervision: per-item deadlines, crash
+// detection, bounded retries on a fresh worker, and quarantine of items
+// that keep killing workers.
+package dist
+
+import (
+	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/campaign"
+)
+
+// Message types of the coordinator↔worker wire protocol. Every message
+// is one JSON object on one line; the stream direction is strictly
+// request/response-free: the coordinator writes init/run/bye, the worker
+// writes ready/result, and either side treats EOF as the peer's death.
+const (
+	// MsgInit (coordinator → worker) opens the session: the application
+	// name and the campaign configuration the worker should execute
+	// items under.
+	MsgInit = "init"
+	// MsgReady (worker → coordinator) acknowledges init.
+	MsgReady = "ready"
+	// MsgRun (coordinator → worker) dispatches one work item. Up to
+	// Config.Parallel items may be outstanding at once.
+	MsgRun = "run"
+	// MsgResult (worker → coordinator) returns one completed item.
+	MsgResult = "result"
+	// MsgBye (coordinator → worker) asks for a clean drain-and-exit.
+	MsgBye = "bye"
+)
+
+// Msg is the single wire envelope; Type selects which fields are set.
+type Msg struct {
+	Type   string               `json:"type"`
+	App    string               `json:"app,omitempty"`
+	Config *Config              `json:"config,omitempty"`
+	Item   *campaign.WorkItem   `json:"item,omitempty"`
+	Result *campaign.ItemResult `json:"result,omitempty"`
+	PID    int                  `json:"pid,omitempty"`
+	Error  string               `json:"error,omitempty"`
+}
+
+// Config is the serializable subset of campaign.Options a worker needs
+// to execute items exactly the way the in-process path would, plus the
+// worker's own internal parallelism.
+type Config struct {
+	MaxPool           int      `json:"max_pool,omitempty"`
+	DisablePooling    bool     `json:"disable_pooling,omitempty"`
+	DisableRoundRobin bool     `json:"disable_round_robin,omitempty"`
+	DisableGate       bool     `json:"disable_gate,omitempty"`
+	Strategy          int      `json:"strategy,omitempty"`
+	Params            []string `json:"params,omitempty"`
+	Significance      float64  `json:"significance,omitempty"`
+	MaxRounds         int      `json:"max_rounds,omitempty"`
+	Seed              int64    `json:"seed,omitempty"`
+	// Parallel bounds concurrent work items per worker subprocess — the
+	// per-machine container count of the paper's fleet. Zero means 8.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// ConfigFrom extracts the wire configuration from campaign options.
+func ConfigFrom(opts campaign.Options) Config {
+	return Config{
+		MaxPool:           opts.MaxPool,
+		DisablePooling:    opts.DisablePooling,
+		DisableRoundRobin: opts.DisableRoundRobin,
+		DisableGate:       opts.DisableGate,
+		Strategy:          int(opts.Strategy),
+		Params:            opts.Params,
+		Significance:      opts.Significance,
+		MaxRounds:         opts.MaxRounds,
+		Seed:              opts.Seed,
+	}
+}
+
+// CampaignOptions converts the wire configuration back into the options
+// a worker-side ExecuteItem call consumes. Obs stays nil: workers are
+// observed from the coordinator side through their item results.
+func (c Config) CampaignOptions() campaign.Options {
+	return campaign.Options{
+		MaxPool:           c.MaxPool,
+		DisablePooling:    c.DisablePooling,
+		DisableRoundRobin: c.DisableRoundRobin,
+		DisableGate:       c.DisableGate,
+		Strategy:          agent.Strategy(c.Strategy),
+		Params:            c.Params,
+		Significance:      c.Significance,
+		MaxRounds:         c.MaxRounds,
+		Seed:              c.Seed,
+	}
+}

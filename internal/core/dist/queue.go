@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"sync"
+
+	"zebraconf/internal/core/campaign"
+)
+
+// queue is the coordinator's sharded work queue. Items are dealt
+// round-robin across one shard per worker slot, so each worker starts on
+// a disjoint stripe of the campaign; a worker that drains its own shard
+// steals from the back of the longest other shard. Stealing from the
+// back keeps the victim's front — the items it will pop next — intact,
+// the classic work-stealing deque discipline.
+type queue struct {
+	mu     sync.Mutex
+	shards [][]campaign.WorkItem
+	// outstanding counts items popped but not yet marked done; the
+	// campaign is complete when every shard is empty and outstanding
+	// is zero.
+	outstanding int
+	// wake is pulsed whenever work is added or completed, so idle
+	// supervisors re-check their shard instead of busy-polling.
+	wake chan struct{}
+	// steals counts cross-shard pops, surfaced as MSteals.
+	steals int64
+}
+
+func newQueue(shards int, items []campaign.WorkItem) *queue {
+	q := &queue{
+		shards: make([][]campaign.WorkItem, shards),
+		wake:   make(chan struct{}, 1),
+	}
+	for i, it := range items {
+		s := i % shards
+		q.shards[s] = append(q.shards[s], it)
+	}
+	return q
+}
+
+// tryPop returns the next item for worker slot w: the front of its own
+// shard, else the back of the longest other shard (a steal). ok=false
+// means no work is currently queued (some may still be outstanding).
+func (q *queue) tryPop(w int) (item campaign.WorkItem, stolen bool, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.shards[w]) > 0 {
+		item = q.shards[w][0]
+		q.shards[w] = q.shards[w][1:]
+		q.outstanding++
+		return item, false, true
+	}
+	victim, best := -1, 0
+	for i := range q.shards {
+		if i != w && len(q.shards[i]) > best {
+			victim, best = i, len(q.shards[i])
+		}
+	}
+	if victim < 0 {
+		return campaign.WorkItem{}, false, false
+	}
+	last := len(q.shards[victim]) - 1
+	item = q.shards[victim][last]
+	q.shards[victim] = q.shards[victim][:last]
+	q.outstanding++
+	q.steals++
+	return item, true, true
+}
+
+// requeue returns a popped item to the queue for a retry, preferring a
+// shard other than the slot that just failed it so the retry lands on a
+// different (fresh) worker when one exists.
+func (q *queue) requeue(failedSlot int, item campaign.WorkItem) {
+	q.mu.Lock()
+	target := failedSlot
+	if len(q.shards) > 1 {
+		target = (failedSlot + 1) % len(q.shards)
+	}
+	q.shards[target] = append(q.shards[target], item)
+	q.outstanding--
+	q.mu.Unlock()
+	q.pulse()
+}
+
+// done marks a popped item finished (successfully or given up).
+func (q *queue) done() {
+	q.mu.Lock()
+	q.outstanding--
+	q.mu.Unlock()
+	q.pulse()
+}
+
+// idle reports whether all work is finished: nothing queued, nothing
+// outstanding.
+func (q *queue) idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.outstanding > 0 {
+		return false
+	}
+	for _, s := range q.shards {
+		if len(s) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// depth returns the number of queued (not outstanding) items.
+func (q *queue) depth() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var n int64
+	for _, s := range q.shards {
+		n += int64(len(s))
+	}
+	return n
+}
+
+func (q *queue) stealCount() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.steals
+}
+
+// pulse wakes one waiter without blocking.
+func (q *queue) pulse() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/testgen"
+	"zebraconf/internal/obs"
+)
+
+// DefaultWorkerParallel bounds concurrent work items inside one worker
+// subprocess when the init config leaves Parallel zero. The tests are
+// sleep-dominated, so like the in-process pool a worker oversubscribes
+// its CPUs; this is the per-machine container count of the paper's fleet.
+const DefaultWorkerParallel = 8
+
+// ServeWorker runs the worker side of the protocol: read init, announce
+// ready, execute run items (up to Config.Parallel concurrently), stream
+// results back, and exit on bye or coordinator EOF. resolve maps the
+// init message's application name to its App — injected so this package
+// never depends on the application registry.
+//
+// Each item executes with a fresh Generator: no state crosses items, so
+// an item's result depends only on (app, config, item) and retries on
+// another worker — or replays from a checkpoint — are deterministic.
+func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, error)) error {
+	var wmu sync.Mutex
+	send := func(m Msg) error {
+		line, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		if f, ok := w.(interface{ Flush() error }); ok {
+			return f.Flush()
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	read := func() (Msg, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return Msg{}, err
+			}
+			return Msg{}, io.EOF
+		}
+		var m Msg
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return Msg{}, fmt.Errorf("dist: worker: bad message: %w", err)
+		}
+		return m, nil
+	}
+
+	init, err := read()
+	if err != nil {
+		return fmt.Errorf("dist: worker: reading init: %w", err)
+	}
+	if init.Type != MsgInit || init.Config == nil {
+		return fmt.Errorf("dist: worker: expected init, got %q", init.Type)
+	}
+	app, err := resolve(init.App)
+	if err != nil {
+		// Report the failure on the wire before dying so the coordinator
+		// sees a reason, not just an EOF.
+		send(Msg{Type: MsgReady, PID: os.Getpid(), Error: err.Error()})
+		return err
+	}
+	cfg := *init.Config
+	opts := cfg.CampaignOptions()
+	if opts.QuarantineThreshold <= 0 {
+		opts.QuarantineThreshold = 3
+	}
+	schema := app.Schema()
+	run := runner.New(app, runner.Options{
+		Significance: opts.Significance,
+		MaxRounds:    opts.MaxRounds,
+		DisableGate:  opts.DisableGate,
+		Strategy:     opts.Strategy,
+		BaseSeed:     opts.Seed,
+	})
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = DefaultWorkerParallel
+	}
+
+	if err := send(Msg{Type: MsgReady, PID: os.Getpid()}); err != nil {
+		return err
+	}
+
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	var sendErr error
+	var errOnce sync.Once
+	for {
+		m, err := read()
+		if err == io.EOF || (err == nil && m.Type == MsgBye) {
+			// Drain in-flight items; their results still matter to a
+			// coordinator that is shutting down cleanly.
+			wg.Wait()
+			return sendErr
+		}
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		if m.Type != MsgRun || m.Item == nil {
+			return fmt.Errorf("dist: worker: unexpected message %q", m.Type)
+		}
+		item := *m.Item
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			gen := testgen.New(schema)
+			if len(opts.Params) > 0 {
+				gen.SetFilter(opts.Params)
+			}
+			res := campaign.ExecuteItem(app, gen, run, opts, obs.NoSpan, item, nil, true)
+			if err := send(Msg{Type: MsgResult, Result: &res}); err != nil {
+				errOnce.Do(func() { sendErr = err })
+			}
+		}()
+	}
+}

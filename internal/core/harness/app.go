@@ -3,12 +3,33 @@ package harness
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/obs"
 )
+
+// Abandoned-goroutine accounting: when a unit test times out, the harness
+// cannot kill its goroutine — Go offers no preemptive kill — so the body
+// keeps running (against an already-closed Env) until it returns on its
+// own. The counters are process-global because the hazard is
+// process-global: an abandoned goroutine competes for the scheduler and
+// can keep mutating shared state. The distributed worker mode exists to
+// turn this leak into a killable subprocess.
+var (
+	abandonedTotal atomic.Int64 // cumulative abandonments
+	leakedNow      atomic.Int64 // abandoned bodies still running
+)
+
+// AbandonedGoroutines reports the cumulative number of test goroutines
+// abandoned after a timeout since process start.
+func AbandonedGoroutines() int64 { return abandonedTotal.Load() }
+
+// LeakedGoroutines reports how many abandoned test goroutines are still
+// running right now.
+func LeakedGoroutines() int64 { return leakedNow.Load() }
 
 // DefaultTestTimeout bounds one unit-test execution in real time. Tests
 // that hang — e.g. a balancer that never finishes because the NameNode
@@ -125,6 +146,17 @@ func RunOnceObserved(app *App, test *UnitTest, opts agent.Options, seed int64, o
 	case <-time.After(timeout):
 		t.Errorf("test timed out after %v", timeout)
 		out.TimedOut = true
+		abandonedTotal.Add(1)
+		leakedNow.Add(1)
+		o.CounterAdd(obs.MAbandonedGoroutines, 1, "app", app.Name, "test", test.Name)
+		o.GaugeAdd(obs.MLeakedGoroutines, 1, "app", app.Name)
+		// Watch for the abandoned body to finally return, so the leaked
+		// gauge reflects goroutines still running, not ever abandoned.
+		go func() {
+			<-done
+			leakedNow.Add(-1)
+			o.GaugeAdd(obs.MLeakedGoroutines, -1, "app", app.Name)
+		}()
 	}
 	out.Elapsed = time.Since(start)
 	out.Failed = t.Failed()

@@ -80,6 +80,14 @@ func Findings(w io.Writer, res *campaign.Result) {
 		fmt.Fprintf(w, "  WARNING: %d pre-run test(s) skipped in phase 2 (lookup failed): %s\n",
 			len(res.SkippedTests), strings.Join(res.SkippedTests, ", "))
 	}
+	if len(res.QuarantinedItems) > 0 {
+		fmt.Fprintf(w, "  WARNING: %d work item(s) abandoned after repeated worker crashes/timeouts (coverage gap): %s\n",
+			len(res.QuarantinedItems), strings.Join(res.QuarantinedItems, ", "))
+	}
+	if res.LeakedGoroutines > 0 {
+		fmt.Fprintf(w, "  WARNING: %d unit-test goroutine(s) abandoned after timeouts; they kept running past their tests\n",
+			res.LeakedGoroutines)
+	}
 }
 
 // Mapping prints the §6.2 mapping statistics.

@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sync/atomic"
@@ -81,6 +82,12 @@ type Options struct {
 	// no unsafe signal (the E11 ablation: spends trials to reduce false
 	// negatives).
 	DisableGate bool
+	// BaseSeed is mixed into every per-run seed derivation, making whole
+	// campaigns reproducible-by-flag; the zero value is simply the
+	// default base. The derivation depends only on (BaseSeed, label, arm,
+	// round), so in-process and distributed executions of the same
+	// instance run the same trials.
+	BaseSeed int64
 	// Strategy selects the agent's read-mapping strategy.
 	Strategy agent.Strategy
 	// Obs receives execution metrics and trace spans; nil disables
@@ -111,9 +118,13 @@ func New(app *harness.App, opts Options) *Runner {
 func (r *Runner) Executions() int64 { return r.executions.Load() }
 
 // seedFor derives a deterministic per-run seed so nondeterministic tests
-// really vary across trials but campaigns stay reproducible.
-func seedFor(label string, arm string, round int) int64 {
+// really vary across trials but campaigns stay reproducible. The base
+// seed is mixed in first, so -seed reshuffles every trial at once.
+func seedFor(base int64, label string, arm string, round int) int64 {
 	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
 	h.Write([]byte(label))
 	h.Write([]byte{0})
 	h.Write([]byte(arm))
@@ -127,7 +138,7 @@ func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, la
 	out := harness.RunOnceObserved(r.app, test, agent.Options{
 		Strategy: r.opts.Strategy,
 		Assign:   assign,
-	}, seedFor(label, arm, round), r.opts.Obs)
+	}, seedFor(r.opts.BaseSeed, label, arm, round), r.opts.Obs)
 	r.opts.Obs.RecordExecution(r.app.Name, arm, out.Failed)
 	return out
 }
@@ -136,7 +147,7 @@ func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, la
 // §4 pre-run reports (node types started, parameter usage, uncertainty).
 func (r *Runner) PreRun(test *harness.UnitTest) testgen.PreRun {
 	r.executions.Add(1)
-	out := harness.RunOnceObserved(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(test.Name, "prerun", 0), r.opts.Obs)
+	out := harness.RunOnceObserved(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(r.opts.BaseSeed, test.Name, "prerun", 0), r.opts.Obs)
 	r.opts.Obs.RecordExecution(r.app.Name, "prerun", out.Failed)
 	return testgen.PreRun{Test: test.Name, Report: out.Report}
 }
@@ -158,7 +169,7 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 		obs.String("app", r.app.Name),
 		obs.String("test", test.Name),
 		obs.String("instance", label),
-		obs.Int("seed", seedFor(label, "hetero", 0)))
+		obs.Int("seed", seedFor(r.opts.BaseSeed, label, "hetero", 0)))
 	defer func() {
 		span.SetAttr(
 			obs.String("verdict", res.Verdict.String()),

@@ -175,15 +175,18 @@ func TestSeedsDifferAcrossArmsAndRounds(t *testing.T) {
 	seen := map[int64]bool{}
 	for _, arm := range []string{"hetero", "homoA", "homoB"} {
 		for round := 0; round < 4; round++ {
-			s := seedFor("label", arm, round)
+			s := seedFor(0, "label", arm, round)
 			if seen[s] {
 				t.Fatalf("seed collision at %s/%d", arm, round)
 			}
 			seen[s] = true
 		}
 	}
-	if seedFor("a", "hetero", 0) == seedFor("b", "hetero", 0) {
+	if seedFor(0, "a", "hetero", 0) == seedFor(0, "b", "hetero", 0) {
 		t.Fatal("labels do not differentiate seeds")
+	}
+	if seedFor(1, "a", "hetero", 0) == seedFor(2, "a", "hetero", 0) {
+		t.Fatal("base seeds do not differentiate seeds")
 	}
 }
 

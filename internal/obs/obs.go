@@ -58,6 +58,46 @@ const (
 	// Labels: app.
 	MInstancesTotal = "zebraconf_instances_total"
 	MInstancesDone  = "zebraconf_instances_done"
+	// MAbandonedGoroutines counts unit-test goroutines the harness
+	// abandoned after a timeout (it cannot kill them in-process).
+	// Labels: app, test.
+	MAbandonedGoroutines = "zebraconf_abandoned_test_goroutines_total"
+	// MLeakedGoroutines gauges abandoned test goroutines still running.
+	// Labels: app.
+	MLeakedGoroutines = "zebraconf_leaked_test_goroutines"
+
+	// Distributed executor catalog (internal/core/dist).
+
+	// MWorkerSpawns counts worker subprocess launches (including
+	// respawns after crashes). Labels: app, worker.
+	MWorkerSpawns = "zebraconf_dist_worker_spawns_total"
+	// MWorkerCrashes counts worker subprocess losses. Labels: app,
+	// reason (crash | timeout | spawn).
+	MWorkerCrashes = "zebraconf_dist_worker_crashes_total"
+	// MWorkerItems counts work items completed per worker slot (the
+	// per-worker throughput series). Labels: app, worker.
+	MWorkerItems = "zebraconf_dist_worker_items_total"
+	// MItemSeconds is the per-work-item wall-clock histogram as seen by
+	// the coordinator (dispatch to result). Labels: app.
+	MItemSeconds = "zebraconf_dist_item_seconds"
+	// MItemExecutions counts unit-test executions reported back by
+	// workers (worker-process registries are not merged). Labels: app.
+	MItemExecutions = "zebraconf_dist_item_executions_total"
+	// MItemRetries counts work items requeued after a worker crash or
+	// deadline kill. Labels: app.
+	MItemRetries = "zebraconf_dist_item_retries_total"
+	// MItemsQuarantined counts work items abandoned after exhausting
+	// their retry budget. Labels: app.
+	MItemsQuarantined = "zebraconf_dist_items_quarantined_total"
+	// MItemsResumed counts checkpointed work items skipped by -resume.
+	// Labels: app.
+	MItemsResumed = "zebraconf_dist_items_resumed_total"
+	// MQueueDepth gauges work items waiting in the coordinator's queue.
+	// Labels: app.
+	MQueueDepth = "zebraconf_dist_queue_depth"
+	// MSteals counts work items stolen from another worker's shard.
+	// Labels: app.
+	MSteals = "zebraconf_dist_steals_total"
 )
 
 // Bucket layouts for the catalog's histogram families.
@@ -175,6 +215,16 @@ func (o *Observer) ProgressAddDone(n int64) {
 		return
 	}
 	o.Progress.AddDone(n)
+}
+
+// ProgressAddExecutions counts unit-test executions for the progress
+// rate display; the distributed coordinator calls it with the execution
+// tallies workers report back.
+func (o *Observer) ProgressAddExecutions(n int64) {
+	if o == nil {
+		return
+	}
+	o.Progress.AddExecutions(n)
 }
 
 // RecordTestRun is the harness hook: one unit-test execution finished.
