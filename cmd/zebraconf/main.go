@@ -43,6 +43,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "base seed mixed into every trial seed (reproducible campaigns)")
 		jsonOut    = flag.String("json", "", "write campaign results as JSON to this file")
 		noPool     = flag.Bool("no-pool", false, "disable pooled testing (ablation)")
+		execCache  = flag.Bool("exec-cache", true, "memoize identical unit-test executions (canonically-seeded homogeneous arms and pooled runs); -exec-cache=false re-runs everything (ablation)")
 		noGate     = flag.Bool("no-gate", false, "disable first-trial gating (ablation)")
 		threadOnly = flag.Bool("thread-only", false, "use thread-based read attribution (the paper's failed attempt #3)")
 		maxPool    = flag.Int("max-pool", 0, "max parameters per pool (0 = unbounded)")
@@ -61,6 +62,17 @@ func main() {
 		itemRetries    = flag.Int("item-retries", dist.DefaultItemRetries, "crashed/timed-out work item retries before quarantine")
 	)
 	flag.Parse()
+
+	// Deferred exit so error paths discovered mid-run (e.g. every
+	// requested test unknown) still flush the metrics/trace files and
+	// shut the debug server down: registered first, this defer runs
+	// last, after all the cleanup defers below.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 
 	if *workerMode {
 		out := bufio.NewWriter(os.Stdout)
@@ -160,14 +172,15 @@ func main() {
 		report.Table4(os.Stdout, selected)
 	case "run":
 		opts := campaign.Options{
-			Parallelism:    *parallel,
-			MaxPool:        *maxPool,
-			DisablePooling: *noPool,
-			DisableGate:    *noGate,
-			Params:         splitList(*params),
-			Tests:          splitList(*tests),
-			Seed:           *seed,
-			Obs:            observer,
+			Parallelism:      *parallel,
+			MaxPool:          *maxPool,
+			DisablePooling:   *noPool,
+			DisableGate:      *noGate,
+			DisableExecCache: !*execCache,
+			Params:           splitList(*params),
+			Tests:            splitList(*tests),
+			Seed:             *seed,
+			Obs:              observer,
 		}
 		if *threadOnly {
 			opts.Strategy = agent.StrategyThreadOnly
@@ -185,10 +198,28 @@ func main() {
 			}
 			workerExe = exe
 		}
+		// A typo in -tests must not silently shrink the campaign: warn per
+		// app, and when NO requested test exists anywhere, fail the run.
+		requestedTests := splitList(*tests)
+		anyTestResolved := len(requestedTests) == 0
 		var results []*campaign.Result
 		for _, app := range selected {
 			fmt.Printf("=== campaign: %s (%d tests, %d parameters) ===\n",
 				app.Name, len(app.Tests), app.Schema().Len())
+			if len(requestedTests) > 0 {
+				var unknown []string
+				for _, name := range requestedTests {
+					if _, err := app.Test(name); err != nil {
+						unknown = append(unknown, name)
+					} else {
+						anyTestResolved = true
+					}
+				}
+				if len(unknown) > 0 {
+					fmt.Fprintf(os.Stderr, "zebraconf: warning: %s: unknown test(s) in -tests: %s\n",
+						app.Name, strings.Join(unknown, ", "))
+				}
+			}
 			appOpts := opts
 			if *workers > 0 {
 				cfg := dist.ConfigFrom(opts)
@@ -229,6 +260,10 @@ func main() {
 			report.Full(os.Stdout, res)
 			fmt.Println()
 			results = append(results, res)
+		}
+		if !anyTestResolved {
+			fmt.Fprintln(os.Stderr, "zebraconf: error: none of the requested -tests exist in any selected application")
+			exitCode = 2
 		}
 		if len(results) > 1 {
 			s := report.Summarize(results)

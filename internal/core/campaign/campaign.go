@@ -13,6 +13,7 @@ import (
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
@@ -42,7 +43,14 @@ type Options struct {
 	// Params restricts the campaign to a parameter subset (empty = all).
 	Params []string
 	// Tests restricts the campaign to a test subset (empty = all).
+	// Names that do not resolve are surfaced in Result.SkippedTests —
+	// a typo must not silently shrink the campaign.
 	Tests []string
+	// DisableExecCache turns off execution memoization, re-running every
+	// homogeneous arm and pooled run (the -exec-cache=false ablation).
+	// Seeds are canonical either way, so the reported parameter set is
+	// identical with the cache on or off.
+	DisableExecCache bool
 	// Significance and MaxRounds pass through to the TestRunner.
 	Significance float64
 	MaxRounds    int
@@ -174,6 +182,15 @@ func Run(app *harness.App, opts Options) *Result {
 	if len(opts.Params) > 0 {
 		gen.SetFilter(opts.Params)
 	}
+	// The execution cache lives for exactly one campaign: canonical
+	// homogeneous arms repeat across the instances of each test, and a
+	// fresh per-campaign cache keeps reuse sound without any invalidation
+	// story. The distributed path builds its caches worker-side instead
+	// (backed by the coordinator's shared cache).
+	var cache *memo.Cache
+	if !opts.DisableExecCache {
+		cache = memo.NewCache(app.Name, nil, opts.Obs)
+	}
 	run := runner.New(app, runner.Options{
 		Significance: opts.Significance,
 		MaxRounds:    opts.MaxRounds,
@@ -181,12 +198,19 @@ func Run(app *harness.App, opts Options) *Result {
 		Strategy:     opts.Strategy,
 		BaseSeed:     opts.Seed,
 		Obs:          opts.Obs,
+		Cache:        cache,
 	})
 
-	tests := selectTests(app, opts.Tests)
+	tests, unknown := selectTests(app, opts.Tests)
 	res := &Result{App: app.Name, NumTests: len(tests), NumParams: schema.Len()}
 
 	o := opts.Obs
+	if len(unknown) > 0 {
+		// Requested tests that do not exist produce no instances; surface
+		// them exactly like a phase-2 lookup failure would be.
+		res.SkippedTests = append(res.SkippedTests, unknown...)
+		o.CounterAdd(obs.MSkippedTests, int64(len(unknown)), "app", app.Name)
+	}
 	o.ProgressBegin(app.Name)
 	defer o.ProgressFinish()
 	campSpan := o.StartSpan("campaign", obs.NoSpan,
@@ -282,6 +306,7 @@ func Run(app *harness.App, opts Options) *Result {
 	campSpan.SetAttr(
 		obs.Int("reported", int64(len(res.Reported))),
 		obs.Int("executed", res.Counts.Executed),
+		obs.Int("executions_saved", res.Counts.ExecutionsSaved),
 		obs.Int("skipped_tests", int64(len(res.SkippedTests))))
 	return res
 }
@@ -298,22 +323,26 @@ func filterConfirmed(p testgen.Pool, confirmed map[string]bool) testgen.Pool {
 	return out
 }
 
-// selectTests resolves the test subset.
-func selectTests(app *harness.App, names []string) []*harness.UnitTest {
+// selectTests resolves the test subset. Names that do not resolve are
+// returned in unknown rather than silently dropped: a typo in -tests
+// must shrink the campaign loudly, not quietly.
+func selectTests(app *harness.App, names []string) (tests []*harness.UnitTest, unknown []string) {
 	if len(names) == 0 {
-		out := make([]*harness.UnitTest, len(app.Tests))
+		tests = make([]*harness.UnitTest, len(app.Tests))
 		for i := range app.Tests {
-			out[i] = &app.Tests[i]
+			tests[i] = &app.Tests[i]
 		}
-		return out
+		return tests, nil
 	}
-	var out []*harness.UnitTest
 	for _, name := range names {
-		if t, err := app.Test(name); err == nil {
-			out = append(out, t)
+		t, err := app.Test(name)
+		if err != nil {
+			unknown = append(unknown, name)
+			continue
 		}
+		tests = append(tests, t)
 	}
-	return out
+	return tests, unknown
 }
 
 // parallelMap runs fn over items with bounded parallelism, preserving

@@ -128,6 +128,32 @@ func TestCampaignTestFilter(t *testing.T) {
 	}
 }
 
+// TestCampaignUnknownTestsSurfaced pins the silent-shrink fix: names in
+// Options.Tests that match no unit test must land in Result.SkippedTests
+// instead of vanishing, while the known names still run.
+func TestCampaignUnknownTestsSurfaced(t *testing.T) {
+	t.Parallel()
+	res := Run(syntheticApp(3), Options{
+		Parallelism: 2,
+		Tests:       []string{"TestExchange0", "TestNoSuchThing", "TestAlsoMissing"},
+	})
+	if res.NumTests != 1 {
+		t.Fatalf("NumTests = %d, want 1 (the one known name)", res.NumTests)
+	}
+	want := map[string]bool{"TestNoSuchThing": true, "TestAlsoMissing": true}
+	if len(res.SkippedTests) != len(want) {
+		t.Fatalf("SkippedTests = %v, want the two unknown names", res.SkippedTests)
+	}
+	for _, name := range res.SkippedTests {
+		if !want[name] {
+			t.Fatalf("SkippedTests = %v contains unexpected %q", res.SkippedTests, name)
+		}
+	}
+	if len(res.Reported) == 0 {
+		t.Fatal("the known test no longer reports; unknown-name handling broke the campaign")
+	}
+}
+
 func TestCampaignDisablePoolingSameVerdicts(t *testing.T) {
 	t.Parallel()
 	pooled := Run(syntheticApp(2), Options{Parallelism: 4})

@@ -62,6 +62,9 @@ type ItemResult struct {
 	// Executions counts unit-test runs this item consumed (leaf arms plus
 	// pooled heterogeneous runs).
 	Executions int64 `json:"executions,omitempty"`
+	// ExecutionsSaved counts runs the execution cache avoided for this
+	// item (memoized homogeneous arms and pooled runs).
+	ExecutionsSaved int64 `json:"executions_saved,omitempty"`
 	// ReachableParams lists the parameters that produced at least one
 	// instance, sorted; the merge step uses them for the missed-parameter
 	// accounting.
@@ -143,6 +146,7 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 		asn := gen.AssignFor(inst, &rep)
 		r := run.RunAssignmentIn(parent, test, asn, inst.String())
 		out.Executions += r.Executions
+		out.ExecutionsSaved += r.Saved
 		out.Verdicts = append(out.Verdicts, InstanceVerdict{
 			Instance:         inst.String(),
 			Param:            inst.Param,
@@ -189,8 +193,13 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 			obs.Int("depth", int64(depth)))
 		defer span.End()
 		asn := p.Assignment(gen, &rep)
-		out.Executions++
-		if !run.RunPooledIn(span.ID(), test, asn, p.Test+"/pool") {
+		failed, reused := run.RunPooledIn(span.ID(), test, asn, p.Test+"/pool")
+		if reused {
+			out.ExecutionsSaved++
+		} else {
+			out.Executions++
+		}
+		if !failed {
 			// Pooled heterogeneous run passed: all members cleared.
 			span.SetAttr(obs.Bool("cleared", true))
 			markDone(len(p.Members))
@@ -240,6 +249,7 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 			continue
 		}
 		res.Counts.Executed += it.Executions
+		res.Counts.ExecutionsSaved += it.ExecutionsSaved
 		res.LeakedGoroutines += it.LeakedGoroutines
 		for _, p := range it.ReachableParams {
 			reachable[p] = true

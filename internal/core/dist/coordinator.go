@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/memo"
 	"zebraconf/internal/obs"
 )
 
@@ -102,6 +103,9 @@ func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]c
 		o:       o,
 		span:    span,
 	}
+	if cfg := c.opts.Config; !cfg.DisableExecCache && !cfg.NoSharedCache {
+		r.sharedCache = make(map[memo.Key]memo.Result)
+	}
 	if r.opts.ItemTimeout <= 0 {
 		r.opts.ItemTimeout = DefaultItemTimeout
 	}
@@ -119,6 +123,13 @@ type crun struct {
 	span    *obs.Span
 	journal *Journal
 	q       *queue
+
+	// sharedCache is the coordinator-side execution cache served to
+	// workers over cache-get/cache-put; nil when memoization (or just
+	// its shared tier) is disabled. Guarded by cacheMu, not mu: cache
+	// traffic is hot-path and must not contend with result accounting.
+	cacheMu     sync.Mutex
+	sharedCache map[memo.Key]memo.Result
 
 	mu          sync.Mutex
 	results     map[int]campaign.ItemResult
@@ -405,6 +416,24 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 				delete(inflight, m.Result.ID)
 				itemsDone++
 				r.recordResult(slot, *m.Result, time.Since(e.start))
+			case MsgCacheGet:
+				if m.CacheKey == nil {
+					break
+				}
+				reply := Msg{Type: MsgCacheVal, Req: m.Req}
+				if res, ok := r.cacheGet(*m.CacheKey); ok {
+					reply.CacheHit = true
+					reply.CacheRes = &res
+				}
+				if err := sess.send(reply); err != nil {
+					// A worker we cannot answer is a worker whose Gets
+					// would all stall to timeout; treat the pipe as dead.
+					return crash("crash")
+				}
+			case MsgCachePut:
+				if m.CacheKey != nil && m.CacheRes != nil {
+					r.cachePut(*m.CacheKey, *m.CacheRes)
+				}
 			}
 		case <-tick.C:
 			if !ready {
@@ -439,6 +468,36 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 	}
 }
 
+// cacheGet serves one worker lookup from the shared execution cache.
+func (r *crun) cacheGet(k memo.Key) (memo.Result, bool) {
+	if r.sharedCache == nil {
+		return memo.Result{}, false
+	}
+	r.cacheMu.Lock()
+	res, ok := r.sharedCache[k]
+	r.cacheMu.Unlock()
+	if ok {
+		r.o.CounterAdd(obs.MCacheHits, 1, "app", r.opts.App, "scope", "shared")
+	} else {
+		r.o.CounterAdd(obs.MCacheMisses, 1, "app", r.opts.App)
+	}
+	return res, ok
+}
+
+// cachePut stores one worker-published result. First write wins: the
+// harness is seeded-deterministic, so concurrent publishers for one key
+// carry identical results anyway.
+func (r *crun) cachePut(k memo.Key, res memo.Result) {
+	if r.sharedCache == nil {
+		return
+	}
+	r.cacheMu.Lock()
+	if _, ok := r.sharedCache[k]; !ok {
+		r.sharedCache[k] = res
+	}
+	r.cacheMu.Unlock()
+}
+
 // recordResult journals and accounts one completed item, replaying its
 // observable campaign signals (progress, verdict counters) that the
 // worker process could not record itself.
@@ -465,6 +524,12 @@ func (r *crun) recordResult(slot int, res campaign.ItemResult, elapsed time.Dura
 	o.CounterAdd(obs.MWorkerItems, 1, "app", app, "worker", strconv.Itoa(slot))
 	o.Observe(obs.MItemSeconds, elapsed.Seconds(), "app", app)
 	o.CounterAdd(obs.MItemExecutions, res.Executions, "app", app)
+	if res.ExecutionsSaved > 0 {
+		// Worker-process metrics registries are not merged, so the
+		// coordinator replays the cache's saved-executions gauge from the
+		// item tallies (local and shared hits alike).
+		o.GaugeAdd(obs.MCacheSaved, res.ExecutionsSaved, "app", app)
+	}
 	o.ProgressAddTotal(int64(res.Instances))
 	o.ProgressAddDone(int64(res.Instances))
 	o.ProgressAddExecutions(res.Executions)

@@ -1,13 +1,19 @@
 package dist
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/memo"
 )
 
 func mkItems(n int) []campaign.WorkItem {
@@ -131,6 +137,189 @@ func TestJournalRejectsMidFileCorruption(t *testing.T) {
 	}
 }
 
+// flakyFile is a journalFile whose Write/Sync fail on demand, recording
+// every byte that reached it.
+type flakyFile struct {
+	buf        bytes.Buffer
+	writeErr   error // next Writes fail with this when set
+	syncErr    error // next Syncs fail with this when set
+	shortAfter int   // when > 0, the next Write accepts only this many bytes
+	writes     int
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	if f.shortAfter > 0 && len(p) > f.shortAfter {
+		n := f.shortAfter
+		f.shortAfter = 0
+		f.buf.Write(p[:n])
+		return n, errors.New("short write")
+	}
+	return f.buf.Write(p)
+}
+
+func (f *flakyFile) Sync() error  { return f.syncErr }
+func (f *flakyFile) Close() error { return nil }
+
+// TestJournalLatchesWriteFailure pins the mid-batch corruption fix: a
+// failed (possibly short) write leaves part of a record in the OS file,
+// and a later successful append would splice valid JSON into the middle
+// of that partial line. The journal must refuse every append after the
+// first failure so the on-disk file stays a clean prefix plus at most
+// one torn tail — exactly what ReadJournal tolerates.
+func TestJournalLatchesWriteFailure(t *testing.T) {
+	t.Parallel()
+	f := &flakyFile{}
+	// syncEvery=1: every Append flushes through to the "file", so write
+	// failures surface immediately rather than living in bufio's buffer.
+	j := newJournal(f, 1)
+	if err := j.Append(Record{Kind: KindHeader, App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	good := f.buf.String()
+
+	// A short write tears the next record in half on "disk".
+	f.shortAfter = 5
+	if err := j.Append(Record{Kind: KindDone, Item: 1}); err == nil {
+		t.Fatal("short write not reported")
+	}
+	torn := f.buf.String()
+	if torn == good {
+		t.Fatal("test harness: short write wrote nothing; the splice hazard isn't exercised")
+	}
+
+	// Every later append must be refused without touching the file:
+	// appending here would splice bytes after the torn fragment.
+	writes := f.writes
+	err := j.Append(Record{Kind: KindDone, Item: 2})
+	if err == nil || !strings.Contains(err.Error(), "refusing append") {
+		t.Fatalf("append after failure = %v, want refusing-append error", err)
+	}
+	if f.writes != writes || f.buf.String() != torn {
+		t.Fatal("failed journal still wrote to the file")
+	}
+	if err := j.Sync(); err == nil {
+		t.Fatal("sync on a failed journal must report the failure")
+	}
+	// Close still closes the file but reports the sticky failure.
+	if err := j.Close(); err == nil {
+		t.Fatal("close on a failed journal must report the failure")
+	}
+
+	// The surviving prefix is what a resume would read: the good record
+	// plus a torn tail, which ReadJournal tolerates.
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn-tail file unreadable: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Kind != KindHeader {
+		t.Fatalf("resume would replay %+v, want just the header", recs)
+	}
+}
+
+func TestJournalLatchesSyncFailure(t *testing.T) {
+	t.Parallel()
+	f := &flakyFile{syncErr: errors.New("disk gone")}
+	j := newJournal(f, 1)
+	if err := j.Append(Record{Kind: KindHeader}); err == nil {
+		t.Fatal("sync failure not reported through Append")
+	}
+	if err := j.Append(Record{Kind: KindDone}); err == nil || !strings.Contains(err.Error(), "refusing append") {
+		t.Fatalf("append after sync failure = %v, want refusing-append error", err)
+	}
+}
+
+func TestRemoteCacheGetDeliverAndMiss(t *testing.T) {
+	t.Parallel()
+	var mu sync.Mutex
+	var sent []Msg
+	var rc *remoteCache
+	rc = newRemoteCache(func(m Msg) error {
+		mu.Lock()
+		sent = append(sent, m)
+		mu.Unlock()
+		// Answer request 1 with a hit, request 2 with a miss.
+		if m.Type == MsgCacheGet {
+			reply := Msg{Type: MsgCacheVal, Req: m.Req}
+			if m.Req == 1 {
+				reply.CacheHit = true
+				reply.CacheRes = &memo.Result{Failed: true, Msg: "cached"}
+			}
+			go rc.deliver(reply)
+		}
+		return nil
+	})
+	key := memo.Key{App: "a", Test: "T", Assign: "h", Seed: 1}
+	res, ok := rc.Get(key)
+	if !ok || !res.Failed || res.Msg != "cached" {
+		t.Fatalf("Get hit = %+v %v", res, ok)
+	}
+	if res, ok := rc.Get(key); ok {
+		t.Fatalf("miss reply treated as hit: %+v", res)
+	}
+	rc.Put(key, memo.Result{TimedOut: true})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sent) != 3 || sent[2].Type != MsgCachePut || !sent[2].CacheRes.TimedOut {
+		t.Fatalf("wire traffic: %+v", sent)
+	}
+	if sent[0].CacheKey == nil || *sent[0].CacheKey != key {
+		t.Fatalf("cache-get key: %+v", sent[0].CacheKey)
+	}
+}
+
+func TestRemoteCacheSendFailureIsMiss(t *testing.T) {
+	t.Parallel()
+	rc := newRemoteCache(func(Msg) error { return errors.New("pipe broken") })
+	if _, ok := rc.Get(memo.Key{App: "a"}); ok {
+		t.Fatal("send failure reported a hit")
+	}
+	rc.mu.Lock()
+	n := len(rc.pending)
+	rc.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending slots leaked after send failure", n)
+	}
+}
+
+// TestRemoteCacheCloseReleasesPendingGet pins the shutdown drain: a Get
+// blocked on the wire must come back as a miss when the cache closes,
+// or the worker's wg.Wait would deadlock against its own read loop.
+func TestRemoteCacheCloseReleasesPendingGet(t *testing.T) {
+	t.Parallel()
+	registered := make(chan struct{})
+	rc := newRemoteCache(func(m Msg) error {
+		close(registered) // reply never comes
+		return nil
+	})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := rc.Get(memo.Key{App: "a"})
+		done <- ok
+	}()
+	<-registered
+	rc.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("closed cache reported a hit")
+		}
+	case <-time.After(remoteCacheTimeout / 2):
+		t.Fatal("Get still blocked after close")
+	}
+	// Gets after close are immediate misses.
+	if _, ok := rc.Get(memo.Key{App: "b"}); ok {
+		t.Fatal("Get on a closed cache reported a hit")
+	}
+}
+
 func TestConfigRoundTrip(t *testing.T) {
 	t.Parallel()
 	opts := campaign.Options{
@@ -143,6 +332,7 @@ func TestConfigRoundTrip(t *testing.T) {
 		Significance:      0.001,
 		MaxRounds:         5,
 		Seed:              99,
+		DisableExecCache:  true,
 	}
 	got := ConfigFrom(opts).CampaignOptions()
 	if !reflect.DeepEqual(got, opts) {

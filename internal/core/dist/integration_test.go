@@ -168,9 +168,20 @@ func TestWorkerKillThenResumeByteIdentical(t *testing.T) {
 	ck := filepath.Join(t.TempDir(), "ck.jsonl")
 	const seed = 23
 
+	// The exec cache stays off here: the kill injection counts stdout
+	// lines, and cache-get/cache-put traffic would shift the kill point;
+	// worse, a retried item would reuse results the killed attempt
+	// published, making per-item execution counts depend on where the
+	// kill landed. Cache+distribution equivalence has its own test.
+	noCache := func(o *obs.Observer) campaign.Options {
+		opts := subsetOptions(seed, o)
+		opts.DisableExecCache = true
+		return opts
+	}
+
 	// Reference: uninterrupted single-worker distributed run.
 	refObs := obs.New()
-	ref := runDistributed(t, app, subsetOptions(seed, refObs), dist.Options{
+	ref := runDistributed(t, app, noCache(refObs), dist.Options{
 		Workers:   1,
 		WorkerCmd: workerFactory(),
 	})
@@ -180,7 +191,7 @@ func TestWorkerKillThenResumeByteIdentical(t *testing.T) {
 	// (stdout line 2: ready, then one result); the coordinator halts via
 	// MaxItems after two completions, leaving the third item undone.
 	killObs := obs.New()
-	runDistributed(t, app, subsetOptions(seed, killObs), dist.Options{
+	runDistributed(t, app, noCache(killObs), dist.Options{
 		Workers:        1,
 		WorkerCmd:      workerFactory("ZEBRACONF_DIST_KILL_AFTER=2"),
 		CheckpointPath: ck,
@@ -208,7 +219,7 @@ func TestWorkerKillThenResumeByteIdentical(t *testing.T) {
 
 	// Resume: checkpointed items must be replayed, not re-executed.
 	resObs := obs.New()
-	resumed := runDistributed(t, app, subsetOptions(seed, resObs), dist.Options{
+	resumed := runDistributed(t, app, noCache(resObs), dist.Options{
 		Workers:    1,
 		WorkerCmd:  workerFactory(),
 		ResumePath: ck,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -39,16 +40,32 @@ type Record struct {
 	Result *campaign.ItemResult `json:"result,omitempty"`
 }
 
+// journalFile is the slice of *os.File the journal needs; an interface
+// so tests can inject write/sync failures.
+type journalFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // Journal is the crash-safe checkpoint log: JSONL, append-only, fsync'd
 // every SyncEvery records (and on Close), so at most one batch of work
 // is re-executed after a coordinator crash and a torn final line is the
 // worst possible corruption.
+//
+// A journal that has seen any write or sync error is failed for good:
+// a short bufio write leaves part of a line buffered, and a later
+// successful Append would splice its bytes into the middle of that
+// partial record — mid-file corruption ReadJournal rightly rejects as
+// unresumable. Refusing every append after the first error keeps the
+// file a clean prefix of valid records plus at most one torn tail.
 type Journal struct {
 	mu        sync.Mutex
-	f         *os.File
+	f         journalFile
 	w         *bufio.Writer
 	pending   int
 	syncEvery int
+	err       error // sticky first write/sync failure
 }
 
 // DefaultSyncEvery batches this many appends per fsync.
@@ -57,17 +74,25 @@ const DefaultSyncEvery = 8
 // OpenJournal opens (creating or appending) the journal at path.
 // syncEvery <= 0 selects DefaultSyncEvery.
 func OpenJournal(path string, syncEvery int) (*Journal, error) {
-	if syncEvery <= 0 {
-		syncEvery = DefaultSyncEvery
-	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dist: open journal: %w", err)
 	}
-	return &Journal{f: f, w: bufio.NewWriter(f), syncEvery: syncEvery}, nil
+	return newJournal(f, syncEvery), nil
 }
 
-// Append writes one record and fsyncs if the batch is full.
+// newJournal wraps an open file; split from OpenJournal so tests can
+// inject failing files.
+func newJournal(f journalFile, syncEvery int) *Journal {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), syncEvery: syncEvery}
+}
+
+// Append writes one record and fsyncs if the batch is full. After any
+// write or sync failure the journal is failed: every later Append (and
+// Sync) returns the original error without touching the file.
 func (j *Journal) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -75,7 +100,11 @@ func (j *Journal) Append(rec Record) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.err != nil {
+		return fmt.Errorf("dist: journal failed, refusing append: %w", j.err)
+	}
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = err
 		return err
 	}
 	j.pending++
@@ -86,10 +115,15 @@ func (j *Journal) Append(rec Record) error {
 }
 
 func (j *Journal) syncLocked() error {
+	if j.err != nil {
+		return fmt.Errorf("dist: journal failed, refusing sync: %w", j.err)
+	}
 	if err := j.w.Flush(); err != nil {
+		j.err = err
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
+		j.err = err
 		return err
 	}
 	j.pending = 0
@@ -103,7 +137,8 @@ func (j *Journal) Sync() error {
 	return j.syncLocked()
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal. A failed journal still closes its
+// file, but reports the failure.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()

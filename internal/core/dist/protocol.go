@@ -18,6 +18,7 @@ package dist
 import (
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/memo"
 )
 
 // Message types of the coordinator↔worker wire protocol. Every message
@@ -38,6 +39,19 @@ const (
 	MsgResult = "result"
 	// MsgBye (coordinator → worker) asks for a clean drain-and-exit.
 	MsgBye = "bye"
+	// MsgCacheGet (worker → coordinator) asks the coordinator-side shared
+	// execution cache for one key; Req correlates the reply. This is the
+	// one request/response exchange in the protocol, and it is advisory:
+	// a worker that never asks (or times out waiting) just re-executes.
+	MsgCacheGet = "cache-get"
+	// MsgCacheVal (coordinator → worker) answers one MsgCacheGet, echoing
+	// Req; CacheHit says whether CacheRes is meaningful.
+	MsgCacheVal = "cache-val"
+	// MsgCachePut (worker → coordinator) publishes one executed result to
+	// the shared cache, fire-and-forget, so a hit on worker A saves a run
+	// on worker B (most usefully when a retried item lands on a fresh
+	// worker that would otherwise redo the lost worker's runs).
+	MsgCachePut = "cache-put"
 )
 
 // Msg is the single wire envelope; Type selects which fields are set.
@@ -49,6 +63,12 @@ type Msg struct {
 	Result *campaign.ItemResult `json:"result,omitempty"`
 	PID    int                  `json:"pid,omitempty"`
 	Error  string               `json:"error,omitempty"`
+	// Shared-execution-cache fields (MsgCacheGet / MsgCacheVal /
+	// MsgCachePut). Req correlates a get with its val reply.
+	Req      int64        `json:"req,omitempty"`
+	CacheKey *memo.Key    `json:"cache_key,omitempty"`
+	CacheRes *memo.Result `json:"cache_res,omitempty"`
+	CacheHit bool         `json:"cache_hit,omitempty"`
 }
 
 // Config is the serializable subset of campaign.Options a worker needs
@@ -64,6 +84,14 @@ type Config struct {
 	Significance      float64  `json:"significance,omitempty"`
 	MaxRounds         int      `json:"max_rounds,omitempty"`
 	Seed              int64    `json:"seed,omitempty"`
+	// DisableExecCache turns execution memoization off everywhere: no
+	// worker-local caches and no coordinator-side shared cache.
+	DisableExecCache bool `json:"disable_exec_cache,omitempty"`
+	// NoSharedCache keeps workers' local caches but stops them from
+	// consulting the coordinator (the worker-local fallback); the
+	// coordinator also declines to serve lookups. Not reachable from the
+	// CLI — a testing and degraded-mode knob.
+	NoSharedCache bool `json:"no_shared_cache,omitempty"`
 	// Parallel bounds concurrent work items per worker subprocess — the
 	// per-machine container count of the paper's fleet. Zero means 8.
 	Parallel int `json:"parallel,omitempty"`
@@ -81,6 +109,7 @@ func ConfigFrom(opts campaign.Options) Config {
 		Significance:      opts.Significance,
 		MaxRounds:         opts.MaxRounds,
 		Seed:              opts.Seed,
+		DisableExecCache:  opts.DisableExecCache,
 	}
 }
 
@@ -98,5 +127,6 @@ func (c Config) CampaignOptions() campaign.Options {
 		Significance:      c.Significance,
 		MaxRounds:         c.MaxRounds,
 		Seed:              c.Seed,
+		DisableExecCache:  c.DisableExecCache,
 	}
 }

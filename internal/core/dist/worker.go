@@ -10,6 +10,7 @@ import (
 
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
@@ -84,12 +85,29 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 		opts.QuarantineThreshold = 3
 	}
 	schema := app.Schema()
+	// Execution memoization: a worker-local cache spanning this session's
+	// items, optionally backed by the coordinator's shared cache so runs
+	// executed by another worker (typically an earlier attempt of a
+	// retried item) are reused instead of redone. Disabling the shared
+	// tier falls back to purely local caching; disabling the cache falls
+	// back to re-running everything.
+	var rcache *remoteCache
+	var cache *memo.Cache
+	if !cfg.DisableExecCache {
+		var backend memo.Backend
+		if !cfg.NoSharedCache {
+			rcache = newRemoteCache(send)
+			backend = rcache
+		}
+		cache = memo.NewCache(app.Name, backend, nil)
+	}
 	run := runner.New(app, runner.Options{
 		Significance: opts.Significance,
 		MaxRounds:    opts.MaxRounds,
 		DisableGate:  opts.DisableGate,
 		Strategy:     opts.Strategy,
 		BaseSeed:     opts.Seed,
+		Cache:        cache,
 	})
 	parallel := cfg.Parallel
 	if parallel <= 0 {
@@ -104,17 +122,31 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 	var wg sync.WaitGroup
 	var sendErr error
 	var errOnce sync.Once
+	// drain waits out in-flight items; their results still matter to a
+	// coordinator that is shutting down cleanly. The remote cache must
+	// release its waiters first: nobody will read another cache-val off
+	// the wire, and a Get blocked inside an item would deadlock the wait.
+	drain := func() {
+		if rcache != nil {
+			rcache.close()
+		}
+		wg.Wait()
+	}
 	for {
 		m, err := read()
 		if err == io.EOF || (err == nil && m.Type == MsgBye) {
-			// Drain in-flight items; their results still matter to a
-			// coordinator that is shutting down cleanly.
-			wg.Wait()
+			drain()
 			return sendErr
 		}
 		if err != nil {
-			wg.Wait()
+			drain()
 			return err
+		}
+		if m.Type == MsgCacheVal {
+			if rcache != nil {
+				rcache.deliver(m)
+			}
+			continue
 		}
 		if m.Type != MsgRun || m.Item == nil {
 			return fmt.Errorf("dist: worker: unexpected message %q", m.Type)

@@ -52,6 +52,11 @@ func Table5(w io.Writer, res *campaign.Result) {
 	fmt.Fprintf(w, "  %-28s %12d\n", "After pre-running unit tests", res.Counts.AfterPreRun)
 	fmt.Fprintf(w, "  %-28s %12d\n", "After removing uncertainty", res.Counts.AfterUncertainty)
 	fmt.Fprintf(w, "  %-28s %12d\n", "Executed (pooled campaign)", res.Counts.Executed)
+	if res.Counts.ExecutionsSaved > 0 {
+		total := res.Counts.Executed + res.Counts.ExecutionsSaved
+		fmt.Fprintf(w, "  %-28s %12d (%.0f%% of %d)\n", "Saved by execution cache",
+			res.Counts.ExecutionsSaved, 100*float64(res.Counts.ExecutionsSaved)/float64(total), total)
+	}
 }
 
 // Findings prints the campaign's per-parameter verdicts, scored against
@@ -77,7 +82,7 @@ func Findings(w io.Writer, res *campaign.Result) {
 		fmt.Fprintf(w, "  missed unsafe parameters: %s\n", strings.Join(res.Missed, ", "))
 	}
 	if len(res.SkippedTests) > 0 {
-		fmt.Fprintf(w, "  WARNING: %d pre-run test(s) skipped in phase 2 (lookup failed): %s\n",
+		fmt.Fprintf(w, "  WARNING: %d requested or pre-run test(s) skipped (unknown name or phase-2 lookup failure): %s\n",
 			len(res.SkippedTests), strings.Join(res.SkippedTests, ", "))
 	}
 	if len(res.QuarantinedItems) > 0 {
@@ -126,7 +131,8 @@ func Markdown(w io.Writer, res *campaign.Result) {
 	fmt.Fprintf(w, "| Original | %d |\n", res.Counts.Original)
 	fmt.Fprintf(w, "| After pre-run | %d |\n", res.Counts.AfterPreRun)
 	fmt.Fprintf(w, "| After uncertainty | %d |\n", res.Counts.AfterUncertainty)
-	fmt.Fprintf(w, "| Executed | %d |\n\n", res.Counts.Executed)
+	fmt.Fprintf(w, "| Executed | %d |\n", res.Counts.Executed)
+	fmt.Fprintf(w, "| Saved by execution cache | %d |\n\n", res.Counts.ExecutionsSaved)
 	fmt.Fprintf(w, "Reported: %d (%d true / %d FP), missed: %d. Sharing %.1f%%. First-trial %d, filtered %d.\n\n",
 		len(res.Reported), res.TruePositives, res.FalsePositives, len(res.Missed),
 		100*res.SharingRate(), res.FirstTrialSignals, res.FilteredByHypothesis)
@@ -146,14 +152,15 @@ func Markdown(w io.Writer, res *campaign.Result) {
 // Summary aggregates several campaigns into the paper's headline numbers
 // (57 reported, 41 true).
 type Summary struct {
-	Reported       int
-	TruePositives  int
-	FalsePositives int
-	Missed         int
-	Executed       int64
-	FirstTrial     int
-	Filtered       int
-	SkippedTests   int
+	Reported        int
+	TruePositives   int
+	FalsePositives  int
+	Missed          int
+	Executed        int64
+	ExecutionsSaved int64
+	FirstTrial      int
+	Filtered        int
+	SkippedTests    int
 }
 
 // Summarize folds campaign results.
@@ -165,6 +172,7 @@ func Summarize(results []*campaign.Result) Summary {
 		s.FalsePositives += r.FalsePositives
 		s.Missed += len(r.Missed)
 		s.Executed += r.Counts.Executed
+		s.ExecutionsSaved += r.Counts.ExecutionsSaved
 		s.FirstTrial += r.FirstTrialSignals
 		s.Filtered += r.FilteredByHypothesis
 		s.SkippedTests += len(r.SkippedTests)

@@ -159,7 +159,7 @@ func TestFindingsSurfacesSkippedTests(t *testing.T) {
 	var buf bytes.Buffer
 	Findings(&buf, res)
 	out := buf.String()
-	if !strings.Contains(out, "WARNING: 2 pre-run test(s) skipped") ||
+	if !strings.Contains(out, "WARNING: 2 requested or pre-run test(s) skipped") ||
 		!strings.Contains(out, "TestGone, TestLost") {
 		t.Fatalf("skipped tests not surfaced:\n%s", out)
 	}

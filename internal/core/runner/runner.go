@@ -14,6 +14,7 @@ import (
 
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/stats"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
@@ -64,6 +65,10 @@ type Result struct {
 	PValue float64
 	// Executions counts unit-test runs this instance consumed.
 	Executions int64
+	// Saved counts runs this instance avoided through the execution
+	// cache: canonically-seeded homogeneous arms another instance (or an
+	// earlier round sharing the key) already executed.
+	Saved int64
 	// Rounds counts confirmation rounds run after the first trial.
 	Rounds int
 	// HeteroMsg is a failure message from a heterogeneous run, for reports.
@@ -84,12 +89,19 @@ type Options struct {
 	DisableGate bool
 	// BaseSeed is mixed into every per-run seed derivation, making whole
 	// campaigns reproducible-by-flag; the zero value is simply the
-	// default base. The derivation depends only on (BaseSeed, label, arm,
-	// round), so in-process and distributed executions of the same
-	// instance run the same trials.
+	// default base. Heterogeneous-arm seeds depend only on (BaseSeed,
+	// label, arm, round); homogeneous-arm and pooled-run seeds are
+	// canonical — (BaseSeed, test, assignment digest, round), see
+	// memo.SeedFor — so in-process and distributed executions of the
+	// same instance run the same trials.
 	BaseSeed int64
 	// Strategy selects the agent's read-mapping strategy.
 	Strategy agent.Strategy
+	// Cache, when non-nil, memoizes canonically-seeded executions
+	// (homogeneous arms and pooled heterogeneous runs): the harness is
+	// seeded-deterministic, so equal cache keys mean byte-identical runs
+	// and reuse changes no verdict. Nil re-runs everything.
+	Cache *memo.Cache
 	// Obs receives execution metrics and trace spans; nil disables
 	// instrumentation at no cost.
 	Obs *obs.Observer
@@ -117,9 +129,14 @@ func New(app *harness.App, opts Options) *Runner {
 // Executions reports the total unit-test runs performed so far.
 func (r *Runner) Executions() int64 { return r.executions.Load() }
 
-// seedFor derives a deterministic per-run seed so nondeterministic tests
-// really vary across trials but campaigns stay reproducible. The base
-// seed is mixed in first, so -seed reshuffles every trial at once.
+// seedFor derives a deterministic per-run seed for label-addressed runs
+// (heterogeneous arms, pre-runs, dependency probes) so nondeterministic
+// tests really vary across trials but campaigns stay reproducible. The
+// base seed is mixed in first, so -seed reshuffles every trial at once.
+// Homogeneous arms and pooled runs do NOT use this derivation: their
+// seeds are canonical over the assignment content (memo.SeedFor), since
+// Definition 3.1's baseline must not vary by which instance label asked
+// for it.
 func seedFor(base int64, label string, arm string, round int) int64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -132,15 +149,42 @@ func seedFor(base int64, label string, arm string, round int) int64 {
 	return int64(h.Sum64() & 0x7FFFFFFFFFFFFFFF)
 }
 
-// runOnce executes the unit test under one assignment.
-func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) harness.Outcome {
+// execute performs one real unit-test run under an explicit seed.
+func (r *Runner) execute(test *harness.UnitTest, assign map[agent.Key]string, seed int64, arm string) harness.Outcome {
 	r.executions.Add(1)
 	out := harness.RunOnceObserved(r.app, test, agent.Options{
 		Strategy: r.opts.Strategy,
 		Assign:   assign,
-	}, seedFor(r.opts.BaseSeed, label, arm, round), r.opts.Obs)
+	}, seed, r.opts.Obs)
 	r.opts.Obs.RecordExecution(r.app.Name, arm, out.Failed)
 	return out
+}
+
+// runOnce executes the unit test under one assignment with a
+// label-derived seed (never cached: the label makes the run unique).
+func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) harness.Outcome {
+	return r.execute(test, assign, seedFor(r.opts.BaseSeed, label, arm, round), arm)
+}
+
+// runCanonical executes the unit test under a canonically-seeded
+// assignment (homogeneous arms and pooled heterogeneous runs): the seed
+// derives from the sorted assignment content rather than the instance
+// label, so every instance needing this exact (test, assignment, round)
+// baseline performs the byte-identical trial — which is what makes
+// memoized reuse sound. reused reports that a cached or coalesced
+// result was returned instead of executing.
+func (r *Runner) runCanonical(test *harness.UnitTest, assign map[agent.Key]string, arm string, round int) (out harness.Outcome, reused bool) {
+	hash := memo.HashAssignment(assign)
+	seed := memo.SeedFor(r.opts.BaseSeed, test.Name, hash, round)
+	key := memo.Key{App: r.app.Name, Test: test.Name, Assign: hash, Seed: seed}
+	res, reused := r.opts.Cache.Do(key, func() memo.Result {
+		out = r.execute(test, assign, seed, arm)
+		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg}
+	})
+	if reused {
+		out = harness.Outcome{Failed: res.Failed, TimedOut: res.TimedOut, Msg: res.Msg}
+	}
+	return out, reused
 }
 
 // PreRun executes every unit test once with no assignments, collecting the
@@ -187,7 +231,9 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 			obs.String("app", r.app.Name),
 			obs.String("test", test.Name),
 			obs.Int("round", int64(round)))
+		roundHomoFailBase := *homoFail
 		het := r.runOnce(test, asn.Hetero, label, "hetero", round)
+		res.Executions++
 		if het.Failed {
 			*heteroFail++
 			if res.HeteroMsg == "" {
@@ -197,7 +243,12 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 			*heteroPass++
 		}
 		for i, arm := range asn.Homo {
-			out := r.runOnce(test, arm, label, homoArmName(i), round)
+			out, reused := r.runCanonical(test, arm, homoArmName(i), round)
+			if reused {
+				res.Saved++
+			} else {
+				res.Executions++
+			}
 			if out.Failed {
 				*homoFail++
 				if anyHomoFailed != nil {
@@ -207,9 +258,8 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 				*homoPass++
 			}
 		}
-		res.Executions += 1 + int64(len(asn.Homo))
 		rs.SetAttr(obs.Bool("hetero_failed", het.Failed),
-			obs.Int("homo_failures", *homoFail))
+			obs.Int("homo_failures", *homoFail-roundHomoFailBase))
 		rs.End()
 	}
 
@@ -251,26 +301,30 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 // RunPooled executes just the heterogeneous arm of a pooled assignment as
 // a trace root; see RunPooledIn.
 func (r *Runner) RunPooled(test *harness.UnitTest, asn testgen.Assignment, label string) (failed bool) {
-	return r.RunPooledIn(obs.NoSpan, test, asn, label)
+	failed, _ = r.RunPooledIn(obs.NoSpan, test, asn, label)
+	return failed
 }
 
 // RunPooledIn executes just the heterogeneous arm of a pooled assignment;
-// the pool machinery only needs pass/fail to decide whether to split. The
+// the pool machinery only needs pass/fail to decide whether to split.
+// The run is canonically seeded over the merged assignment (a pooled
+// configuration is content, not an instance), so identical pools — e.g.
+// a re-split after a retry — memoize; reused reports a cache hit. The
 // pooled-run span nests under parent.
-func (r *Runner) RunPooledIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) (failed bool) {
+func (r *Runner) RunPooledIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) (failed, reused bool) {
 	span := r.opts.Obs.StartSpan("pooled-run", parent,
 		obs.String("app", r.app.Name),
 		obs.String("test", test.Name),
 		obs.String("pool", label))
-	out := r.runOnce(test, asn.Hetero, label, "pool", 0)
-	span.SetAttr(obs.Bool("failed", out.Failed))
+	out, reused := r.runCanonical(test, asn.Hetero, "pool", 0)
+	span.SetAttr(obs.Bool("failed", out.Failed), obs.Bool("cached", reused))
 	span.End()
 	result := "pass"
 	if out.Failed {
 		result = "fail"
 	}
 	r.opts.Obs.CounterAdd(obs.MPoolRuns, 1, "app", r.app.Name, "result", result)
-	return out.Failed
+	return out.Failed, reused
 }
 
 // homoArmName names homogeneous arm i deterministically and distinctly

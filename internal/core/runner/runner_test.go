@@ -1,12 +1,17 @@
 package runner
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
 
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/testgen"
+	"zebraconf/internal/obs"
 )
 
 // syntheticApp builds a tiny application with one node type reading one
@@ -106,13 +111,16 @@ func TestSafeParameterPassesCheaply(t *testing.T) {
 func TestFlakyTestFiltered(t *testing.T) {
 	t.Parallel()
 	app := syntheticApp("flaky")
-	r := New(app, Options{})
-	asn, test := instanceFor(app, r)
+	asn, test := instanceFor(app, New(app, Options{}))
 
-	// Scan labels until one hits the first-trial signal (hetero fails,
-	// homos pass); hypothesis testing must then refuse to confirm.
+	// Scan base seeds until one hits the first-trial signal (hetero
+	// fails, homos pass); hypothesis testing must then refuse to
+	// confirm. Base seeds, not labels: homogeneous-arm seeds are
+	// canonical over the assignment, so within one base seed every label
+	// shares the same homo outcomes.
 	for i := 0; i < 64; i++ {
-		res := r.RunAssignment(test, asn, "flaky-"+string(rune('a'+i%26))+string(rune('0'+i/26)))
+		r := New(app, Options{BaseSeed: int64(i)})
+		res := r.RunAssignment(test, asn, "flaky")
 		if !res.FirstTrialSignal {
 			continue
 		}
@@ -124,7 +132,7 @@ func TestFlakyTestFiltered(t *testing.T) {
 		}
 		return
 	}
-	t.Skip("no first-trial signal in 64 labels; flake probability too low for this seed set")
+	t.Skip("no first-trial signal in 64 base seeds; flake probability too low for this seed set")
 }
 
 func TestHomoInvalidDetected(t *testing.T) {
@@ -173,7 +181,7 @@ func TestRunPooledReportsHeteroFailureOnly(t *testing.T) {
 func TestSeedsDifferAcrossArmsAndRounds(t *testing.T) {
 	t.Parallel()
 	seen := map[int64]bool{}
-	for _, arm := range []string{"hetero", "homoA", "homoB"} {
+	for _, arm := range []string{"hetero", "prerun", "pool"} {
 		for round := 0; round < 4; round++ {
 			s := seedFor(0, "label", arm, round)
 			if seen[s] {
@@ -187,6 +195,121 @@ func TestSeedsDifferAcrossArmsAndRounds(t *testing.T) {
 	}
 	if seedFor(1, "a", "hetero", 0) == seedFor(2, "a", "hetero", 0) {
 		t.Fatal("base seeds do not differentiate seeds")
+	}
+}
+
+// TestCanonicalHomoSeedsIgnoreLabel pins the PR's correctness fix:
+// Definition 3.1's homogeneous baseline is a property of (test,
+// assignment, round), so two instances that need the same baseline must
+// run the byte-identical trial regardless of their labels. The flaky
+// synthetic test makes any seed difference visible as an outcome
+// difference with probability 0.4 per run.
+func TestCanonicalHomoSeedsIgnoreLabel(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("flaky")
+	r := New(app, Options{DisableGate: true, MaxRounds: 4})
+	asn, test := instanceFor(app, r)
+
+	// Two passes over the same assignment stand in for two instances
+	// with different labels: nothing label-dependent may enter the
+	// canonical derivation, so the outcome sequences must be identical.
+	outcomes := func() []string {
+		var seq []string
+		for round := 0; round <= 4; round++ {
+			for i, arm := range asn.Homo {
+				out, _ := r.runCanonical(test, arm, homoArmName(i), round)
+				seq = append(seq, fmt.Sprintf("%s/%d:%v", homoArmName(i), round, out.Failed))
+			}
+		}
+		return seq
+	}
+	a := outcomes()
+	b := outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("canonical homo outcome diverged: %s vs %s", a[i], b[i])
+		}
+	}
+}
+
+// TestCacheSavesHomoArms: with a memo cache installed, a second instance
+// over the same assignment reuses every homogeneous arm and re-executes
+// only its heterogeneous arm.
+func TestCacheSavesHomoArms(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("none")
+	cache := memo.NewCache(app.Name, nil, nil)
+	r := New(app, Options{Cache: cache})
+	asn, test := instanceFor(app, r)
+
+	first := r.RunAssignment(test, asn, "inst-a")
+	if first.Saved != 0 {
+		t.Fatalf("first instance saved %d runs; nothing to reuse yet", first.Saved)
+	}
+	before := r.Executions()
+	second := r.RunAssignment(test, asn, "inst-b")
+	if want := int64(len(asn.Homo)); second.Saved != want {
+		t.Fatalf("second instance saved %d runs, want %d (all homo arms)", second.Saved, want)
+	}
+	if got := r.Executions() - before; got != 1 {
+		t.Fatalf("second instance executed %d runs, want 1 (hetero only)", got)
+	}
+	if second.Verdict != first.Verdict {
+		t.Fatalf("cached verdict %v != uncached %v", second.Verdict, first.Verdict)
+	}
+	st := cache.Stats()
+	if st.Hits != int64(len(asn.Homo)) || st.Misses != int64(len(asn.Homo)) {
+		t.Fatalf("cache stats = %+v, want %d hits and %d misses", st, len(asn.Homo), len(asn.Homo))
+	}
+}
+
+// TestRoundSpansRecordPerRoundHomoFailures pins the trace-attribute fix:
+// each round span's homo_failures is that round's delta, not the
+// cumulative count across rounds. In homobad mode the all-beta
+// homogeneous arm fails every round, so a cumulative count would read
+// 1, 2, 3, ... while the correct per-round delta is always 1. The
+// hetero arm carries a beta value too, so hetero_failed must be present
+// and true in every round — the symmetry check.
+func TestRoundSpansRecordPerRoundHomoFailures(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("homobad")
+	var buf bytes.Buffer
+	o := obs.New()
+	o.Tracer = obs.NewTracer(&buf)
+	r := New(app, Options{DisableGate: true, MaxRounds: 3, Obs: o})
+	asn, test := instanceFor(app, r)
+	r.RunAssignment(test, asn, "rounds")
+
+	rounds := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec.Name != "round" {
+			continue
+		}
+		rounds++
+		hf, ok := rec.Attrs["hetero_failed"].(bool)
+		if !ok {
+			t.Fatalf("round span missing hetero_failed bool: %v", rec.Attrs)
+		}
+		if !hf {
+			t.Fatalf("hetero arm passed in homobad mode (it carries a beta value): %v", rec.Attrs)
+		}
+		failures, ok := rec.Attrs["homo_failures"].(float64)
+		if !ok {
+			t.Fatalf("round span missing homo_failures: %v", rec.Attrs)
+		}
+		if failures != 1 {
+			t.Fatalf("round span homo_failures = %v, want per-round delta 1 (cumulative count regression)", failures)
+		}
+	}
+	if want := 1 + 3; rounds != want {
+		t.Fatalf("saw %d round spans, want %d", rounds, want)
 	}
 }
 

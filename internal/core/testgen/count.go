@@ -17,6 +17,11 @@ type ReductionCounts struct {
 	// performed — pooled runs, splits, leaves, homogeneous arms, and
 	// hypothesis-testing trials (row 4).
 	Executed int64
+	// ExecutionsSaved counts runs the execution cache avoided: canonical
+	// homogeneous arms and pooled runs another instance already
+	// performed under the identical (test, assignment, seed) key.
+	// Executed + ExecutionsSaved is the cache-off cost of the campaign.
+	ExecutionsSaved int64
 }
 
 // OriginalCount computes row 1: every unit test × every parameter's value

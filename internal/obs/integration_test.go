@@ -109,6 +109,16 @@ func TestCampaignTraceAndMetricsIntegrity(t *testing.T) {
 		if parentName(r) != "instance" {
 			t.Errorf("round span under %q, want instance", parentName(r))
 		}
+		// Per-round attributes: hetero_failed is this round's hetero
+		// outcome, homo_failures this round's delta — at most one failure
+		// per homogeneous arm, never a cumulative count across rounds.
+		if _, ok := r.Attrs["hetero_failed"].(bool); !ok {
+			t.Errorf("round span missing hetero_failed bool: %+v", r.Attrs)
+		}
+		hf, ok := r.Attrs["homo_failures"].(float64)
+		if !ok || hf < 0 || hf > 2 {
+			t.Errorf("round span homo_failures = %v, want 0..2 (per-round delta over two arms)", r.Attrs["homo_failures"])
+		}
 	}
 	// The unsafe verdict must be replayable from its lineage: at least one
 	// instance span carries verdict=unsafe with app/test attributes set.
@@ -148,6 +158,26 @@ func TestCampaignTraceAndMetricsIntegrity(t *testing.T) {
 	}
 	if got := m.CounterValue(obs.MExecutions, "arm", "prerun"); got != int64(res.NumTests) {
 		t.Errorf("prerun executions %d != tests %d", got, res.NumTests)
+	}
+	// Execution-cache counters: every saved execution is a cache hit, and
+	// misses are the executions the campaign actually performed for
+	// canonically-addressed runs (a subset of all executions).
+	if res.Counts.ExecutionsSaved == 0 {
+		t.Error("campaign saved no executions; the cache-counter checks are vacuous")
+	}
+	if res.Counts.ExecutionsSaved > 0 {
+		hits := m.CounterValue(obs.MCacheHits, "app", "minihdfs", "scope", "local") +
+			m.CounterValue(obs.MCacheHits, "app", "minihdfs", "scope", "shared") +
+			m.CounterValue(obs.MCacheCoalesced, "app", "minihdfs")
+		if hits != res.Counts.ExecutionsSaved {
+			t.Errorf("cache hit counters %d != executions saved %d", hits, res.Counts.ExecutionsSaved)
+		}
+		if g := m.Gauge(obs.MCacheSaved, "app", "minihdfs").Value(); g != res.Counts.ExecutionsSaved {
+			t.Errorf("saved gauge %v != executions saved %d", g, res.Counts.ExecutionsSaved)
+		}
+		if misses := m.CounterValue(obs.MCacheMisses, "app", "minihdfs"); misses <= 0 || misses > res.Counts.Executed {
+			t.Errorf("cache misses %d outside (0, executed=%d]", misses, res.Counts.Executed)
+		}
 	}
 
 	// Exposition renders the catalog families the acceptance criteria name.

@@ -98,6 +98,22 @@ const (
 	// MSteals counts work items stolen from another worker's shard.
 	// Labels: app.
 	MSteals = "zebraconf_dist_steals_total"
+
+	// Execution memoization catalog (internal/core/memo).
+
+	// MCacheHits counts executions reused from the cache. Labels: app,
+	// scope (local = this process's cache, shared = the coordinator-side
+	// cache behind the dist protocol).
+	MCacheHits = "zebraconf_exec_cache_hits_total"
+	// MCacheMisses counts cache lookups that executed for real.
+	// Labels: app.
+	MCacheMisses = "zebraconf_exec_cache_misses_total"
+	// MCacheCoalesced counts callers that joined an in-flight identical
+	// run instead of duplicating it (singleflight). Labels: app.
+	MCacheCoalesced = "zebraconf_exec_cache_coalesced_total"
+	// MCacheSaved gauges total unit-test executions avoided by
+	// memoization (hits + shared hits + coalesced). Labels: app.
+	MCacheSaved = "zebraconf_exec_cache_saved_executions"
 )
 
 // Bucket layouts for the catalog's histogram families.
