@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/sched"
 	"zebraconf/internal/obs"
 )
 
@@ -51,6 +53,13 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write Prometheus text metrics to this file at exit")
 		progress   = flag.Bool("progress", false, "render live campaign progress to stderr")
 		httpAddr   = flag.String("http", "", "serve /metrics, expvar, and pprof on this address (e.g. :6060)")
+
+		// Adaptive scheduling (internal/core/sched).
+		schedFlag   = flag.String("sched", "lpt", "phase-2 dispatch order: lpt (longest-predicted first) | fifo (ablation)")
+		stream      = flag.Bool("stream", true, "stream work items into phase 2 as each pre-run finishes; -stream=false restores the phase barrier (ablation)")
+		speculate   = flag.Float64("speculate", 1.5, "with -workers: re-issue an item held longer than this factor x its predicted duration once the queue drains; 0 disables (ablation)")
+		profilePath = flag.String("profile", "", "duration profile JSON: read for predictions if present, rewritten with this campaign's timings at exit")
+		quarantine  = flag.Int("quarantine", 3, "distinct confirming tests before a parameter is live-quarantined mid-campaign (§4 frequent-failer rule); 0 disables the pruning (ablation)")
 
 		// Distributed execution (internal/core/dist).
 		workers        = flag.Int("workers", 0, "shard the campaign across N worker subprocesses (0 = in-process)")
@@ -171,16 +180,40 @@ func main() {
 		fmt.Println()
 		report.Table4(os.Stdout, selected)
 	case "run":
+		policy, err := sched.ParsePolicy(*schedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// The duration profile is read for predictions (LPT ordering,
+		// speculation deadlines) and updated in place with this campaign's
+		// timings, so every run sharpens the next one's schedule.
+		profile, err := sched.LoadProfile(*profilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Live quarantine prunes based on completion order, so -quarantine 0
+		// (a threshold no campaign reaches) is the knob that makes two
+		// schedules byte-comparable.
+		quarThreshold := *quarantine
+		if quarThreshold <= 0 {
+			quarThreshold = math.MaxInt32
+		}
 		opts := campaign.Options{
-			Parallelism:      *parallel,
-			MaxPool:          *maxPool,
-			DisablePooling:   *noPool,
-			DisableGate:      *noGate,
-			DisableExecCache: !*execCache,
-			Params:           splitList(*params),
-			Tests:            splitList(*tests),
-			Seed:             *seed,
-			Obs:              observer,
+			Parallelism:         *parallel,
+			MaxPool:             *maxPool,
+			DisablePooling:      *noPool,
+			DisableGate:         *noGate,
+			DisableExecCache:    !*execCache,
+			Params:              splitList(*params),
+			Tests:               splitList(*tests),
+			Seed:                *seed,
+			SchedPolicy:         policy,
+			Stream:              *stream,
+			Profile:             profile,
+			QuarantineThreshold: quarThreshold,
+			Obs:                 observer,
 		}
 		if *threadOnly {
 			opts.Strategy = agent.StrategyThreadOnly
@@ -236,30 +269,33 @@ func main() {
 					cfg.Parallel = (total + *workers - 1) / *workers
 				}
 				coord := dist.New(dist.Options{
-					App:            app.Name,
-					Workers:        *workers,
-					WorkerCmd:      func() *exec.Cmd { return exec.Command(workerExe, "-worker") },
-					Config:         cfg,
-					CheckpointPath: *checkpoint,
-					ResumePath:     *resume,
-					ItemTimeout:    *itemTimeout,
-					ItemRetries:    *itemRetries,
-					Obs:            observer,
-					Stderr:         os.Stderr,
+					App:                 app.Name,
+					Workers:             *workers,
+					WorkerCmd:           func() *exec.Cmd { return exec.Command(workerExe, "-worker") },
+					Config:              cfg,
+					CheckpointPath:      *checkpoint,
+					ResumePath:          *resume,
+					ItemTimeout:         *itemTimeout,
+					ItemRetries:         *itemRetries,
+					SchedPolicy:         policy,
+					SpeculationFactor:   *speculate,
+					Profile:             profile,
+					QuarantineThreshold: quarThreshold,
+					Obs:                 observer,
+					Stderr:              os.Stderr,
 				})
-				appOpts.Distribute = func(parent obs.SpanID, items []campaign.WorkItem) []campaign.ItemResult {
-					res, err := coord.Execute(parent, items)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "distributed campaign failed:", err)
-						os.Exit(1)
-					}
-					return res
-				}
+				appOpts.Distributor = &distAdapter{coord: coord}
 			}
 			res := campaign.Run(app, appOpts)
 			report.Full(os.Stdout, res)
 			fmt.Println()
 			results = append(results, res)
+		}
+		if *profilePath != "" {
+			if err := profile.Save(*profilePath); err != nil {
+				fmt.Fprintln(os.Stderr, "zebraconf: writing duration profile:", err)
+				exitCode = 1
+			}
 		}
 		if !anyTestResolved {
 			fmt.Fprintln(os.Stderr, "zebraconf: error: none of the requested -tests exist in any selected application")
@@ -297,6 +333,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// distAdapter bridges the campaign's Distributor interface onto the dist
+// coordinator's Start/Submit/Drain API. The campaign cannot produce a
+// result without the distributed items, so a coordinator failure is
+// fatal here.
+type distAdapter struct {
+	coord *dist.Coordinator
+	run   *dist.Run
+}
+
+func (d *distAdapter) Begin(parent obs.SpanID, total int) {
+	run, err := d.coord.Start(parent, total)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distributed campaign failed:", err)
+		os.Exit(1)
+	}
+	d.run = run
+}
+
+func (d *distAdapter) Submit(item campaign.WorkItem) {
+	d.run.Submit(item)
+}
+
+func (d *distAdapter) Drain() []campaign.ItemResult {
+	res, err := d.run.Drain()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distributed campaign failed:", err)
+		os.Exit(1)
+	}
+	return res
 }
 
 func splitList(s string) []string {

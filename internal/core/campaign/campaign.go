@@ -15,6 +15,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/sched"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
 )
@@ -63,13 +64,38 @@ type Options struct {
 	// whole campaign; nil (the default) disables observability with only
 	// a nil-check of overhead on the instrumented paths.
 	Obs *obs.Observer
-	// Distribute, when non-nil, executes phase 2's work items instead of
-	// the in-process worker pool — the dist coordinator plugs in here,
-	// sharding the items across worker subprocesses. It receives the
-	// phase span and the full item list and returns one ItemResult per
-	// item, in any order; implementations handle their own errors (an
-	// absent item simply contributes nothing to the merged result).
-	Distribute func(parent obs.SpanID, items []WorkItem) []ItemResult
+	// SchedPolicy selects phase 2's dispatch order (sched.FIFO, the zero
+	// value, keeps declaration order; sched.LPT dispatches
+	// longest-predicted-first to shrink the makespan).
+	SchedPolicy sched.Policy
+	// Stream replaces the phase-1 barrier with a pipeline: a test's work
+	// item is built and dispatched the moment its pre-run finishes, so
+	// instance execution overlaps the pre-run tail. Both phases share
+	// one Parallelism budget, so total load — and with it the timing
+	// behaviour of latency-sensitive tests — matches the barrier path.
+	Stream bool
+	// Profile, when non-nil, supplies per-(app, test) duration
+	// predictions from earlier campaigns and receives this campaign's
+	// per-item durations. A cold (or absent) profile falls back to
+	// pre-run durations measured this campaign.
+	Profile *sched.Profile
+	// Distributor, when non-nil, executes phase 2's work items instead
+	// of the in-process worker pool — the dist coordinator plugs in
+	// here, sharding items across worker subprocesses. Begin announces
+	// the phase span and total item count, Submit hands items over
+	// incrementally (allowing the streaming pipeline to dispatch items
+	// as their pre-runs finish), and Drain blocks for the results, one
+	// per resolved item in any order; implementations handle their own
+	// errors (an absent item contributes nothing to the merged result).
+	Distributor Distributor
+}
+
+// Distributor executes phase-2 work items out of process. Exactly one
+// Begin, then Submit for every item counted by Begin, then one Drain.
+type Distributor interface {
+	Begin(parent obs.SpanID, total int)
+	Submit(item WorkItem)
+	Drain() []ItemResult
 }
 
 // ParamReport is the campaign's verdict for one reported parameter.
@@ -231,12 +257,20 @@ func Run(app *harness.App, opts Options) *Result {
 		}
 	}
 
-	// Phase 1: pre-run (paper §4).
-	_, endPhase := phase("prerun")
-	res.PreRuns = parallelMap(opts.Parallelism, o, app.Name, "prerun", tests, func(t *harness.UnitTest) testgen.PreRun {
-		return run.PreRun(t)
-	})
-	endPhase()
+	// Phases 1 and 2: pre-run every test, build and schedule work items,
+	// execute their instances. Barriered (default): all pre-runs finish,
+	// items are ranked by predicted duration, then dispatched. Streamed:
+	// one policy-aware queue feeds a single worker pool, so a test's
+	// item dispatches the moment its pre-run finishes and instance
+	// execution overlaps the pre-run tail.
+	ex := &campaignExec{app: app, gen: gen, run: run, opts: opts, o: o, phase: phase}
+	var itemResults []ItemResult
+	var localLeaks int64
+	if opts.Stream {
+		res.PreRuns, itemResults, localLeaks = ex.runStreamed(tests)
+	} else {
+		res.PreRuns, itemResults, localLeaks = ex.runBarriered(tests)
+	}
 	for _, pre := range res.PreRuns {
 		if pre.Report.UsedConf {
 			res.ConfUsingTests++
@@ -254,50 +288,10 @@ func Run(app *harness.App, opts Options) *Result {
 	res.Counts.AfterPreRun = gen.CountAfterPreRun(res.PreRuns)
 	res.Counts.AfterUncertainty = gen.CountAfterUncertainty(res.PreRuns)
 
-	// Phase 2: instance execution with pooling, over enumerable work
-	// items (one per pre-run test) so the in-process pool and the
-	// distributed coordinator share one execution and merge path.
-	items := BuildItems(res.PreRuns)
-	instancesSpan, endPhase := phase("instances")
-	var itemResults []ItemResult
-	var localLeaks int64
-	if opts.Distribute != nil {
-		itemResults = opts.Distribute(instancesSpan, items)
-	} else {
-		// Cross-test frequent-failer quarantine (§4) runs live: once a
-		// parameter is confirmed by QuarantineThreshold distinct tests,
-		// remaining items skip its instances. The distributed path trades
-		// this pruning away for order-independent, resumable items.
-		var mu sync.Mutex
-		confirmedBy := make(map[string]map[string]bool)
-		onUnsafe := func(inst testgen.Instance, r runner.Result) {
-			mu.Lock()
-			defer mu.Unlock()
-			set := confirmedBy[inst.Param]
-			if set == nil {
-				set = make(map[string]bool)
-				confirmedBy[inst.Param] = set
-			}
-			set[inst.Test] = true
-			if len(set) == opts.QuarantineThreshold {
-				o.CounterAdd(obs.MQuarantine, 1, "app", app.Name)
-				gen.Quarantine(inst.Param)
-			}
-		}
-		// Abandoned-goroutine accounting: per-item deltas double-count
-		// under in-process concurrency, so take one campaign-wide delta.
-		leakBase := harness.AbandonedGoroutines()
-		itemResults = parallelMap(opts.Parallelism, o, app.Name, "instances", items, func(it WorkItem) ItemResult {
-			return ExecuteItem(app, gen, run, opts, instancesSpan, it, onUnsafe, false)
-		})
-		localLeaks = harness.AbandonedGoroutines() - leakBase
-	}
-	endPhase()
-
 	// Phase 3: merge item results and score against ground truth.
-	_, endPhase = phase("scoring")
-	mergeResults(res, schema, gen, itemResults, opts, opts.Distribute != nil)
-	if opts.Distribute == nil {
+	_, endPhase := phase("scoring")
+	mergeResults(res, schema, gen, itemResults, opts)
+	if opts.Distributor == nil {
 		res.LeakedGoroutines = localLeaks
 	}
 	endPhase()
@@ -309,6 +303,121 @@ func Run(app *harness.App, opts Options) *Result {
 		obs.Int("executions_saved", res.Counts.ExecutionsSaved),
 		obs.Int("skipped_tests", int64(len(res.SkippedTests))))
 	return res
+}
+
+// campaignExec bundles the state phases 1 and 2 share across the
+// barriered and streamed execution paths.
+type campaignExec struct {
+	app   *harness.App
+	gen   *testgen.Generator
+	run   *runner.Runner
+	opts  Options
+	o     *obs.Observer
+	phase func(name string) (obs.SpanID, func())
+}
+
+// runBarriered is the two-phase path: every pre-run completes, items are
+// built and ranked by predicted duration, then dispatched as one batch.
+func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.PreRun, itemResults []ItemResult, localLeaks int64) {
+	app, o, opts := c.app, c.o, c.opts
+
+	type timedPre struct {
+		pre  testgen.PreRun
+		secs float64
+	}
+	_, endPhase := c.phase("prerun")
+	tp := parallelMap(opts.Parallelism, o, app.Name, "prerun", tests, func(t *harness.UnitTest) timedPre {
+		pre, d := c.run.PreRunTimed(t)
+		return timedPre{pre: pre, secs: d.Seconds()}
+	})
+	endPhase()
+	pres = make([]testgen.PreRun, len(tp))
+	items := make([]WorkItem, len(tp))
+	preds := make([]float64, len(tp))
+	for i, x := range tp {
+		pres[i] = x.pre
+		items[i] = WorkItem{ID: i, Test: x.pre.Test, PreRun: x.pre}
+		items[i].PredSeconds = c.predict(items[i], x.secs)
+		preds[i] = items[i].PredSeconds
+	}
+	order, moved := sched.Rank(opts.SchedPolicy, preds)
+
+	span, endPhase := c.phase("instances")
+	defer endPhase()
+	if opts.Distributor != nil {
+		// The dist queue re-ranks under its own policy, so the reorder
+		// statistic is counted at its pops, not here; the LPT submission
+		// order still seeds the shards balanced.
+		opts.Distributor.Begin(span, len(items))
+		for _, i := range order {
+			opts.Distributor.Submit(items[i])
+		}
+		return pres, opts.Distributor.Drain(), 0
+	}
+	if moved > 0 {
+		o.CounterAdd(obs.MSchedReordered, int64(moved), "app", app.Name)
+	}
+	ordered := make([]WorkItem, len(order))
+	for pos, i := range order {
+		ordered[pos] = items[i]
+	}
+	onUnsafe := c.unsafeHook()
+	// Abandoned-goroutine accounting: per-item deltas double-count
+	// under in-process concurrency, so take one campaign-wide delta.
+	leakBase := harness.AbandonedGoroutines()
+	itemResults = parallelMap(opts.Parallelism, o, app.Name, "instances", ordered, func(it WorkItem) ItemResult {
+		t0 := time.Now()
+		r := ExecuteItem(app, c.gen, c.run, opts, span, it, onUnsafe, false)
+		c.observeItem(it, time.Since(t0))
+		return r
+	})
+	return pres, itemResults, harness.AbandonedGoroutines() - leakBase
+}
+
+// predict estimates one item's wall clock in seconds: the profile's
+// estimate for this (app, test) when warm, else the pre-run duration
+// scaled by the item's instance count (each instance re-runs the test at
+// least once) — the cold-campaign fallback.
+func (c *campaignExec) predict(item WorkItem, preSeconds float64) float64 {
+	if s, ok := c.opts.Profile.Predict(c.app.Name, item.Test); ok {
+		return s
+	}
+	n := len(c.gen.Instances(item.PreRun, testgen.InstancesOptions{DisableRoundRobin: c.opts.DisableRoundRobin}))
+	return preSeconds * float64(n+1)
+}
+
+// observeItem feeds one completed item's wall clock back into the
+// profile and the predicted-vs-actual accuracy histogram.
+func (c *campaignExec) observeItem(item WorkItem, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	c.opts.Profile.Record(c.app.Name, item.Test, secs)
+	if item.PredSeconds > 0 {
+		c.o.Observe(obs.MSchedPredRatio, secs/item.PredSeconds, "app", c.app.Name)
+	}
+}
+
+// unsafeHook returns the live cross-test quarantine hook used by the
+// in-process paths: once a parameter is confirmed by QuarantineThreshold
+// distinct tests (§4's frequent-failer rule), remaining items skip its
+// instances. The distributed path implements the same rule with a
+// coordinator-to-worker broadcast instead.
+func (c *campaignExec) unsafeHook() func(testgen.Instance, runner.Result) {
+	var mu sync.Mutex
+	confirmedBy := make(map[string]map[string]bool)
+	return func(inst testgen.Instance, r runner.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		set := confirmedBy[inst.Param]
+		if set == nil {
+			set = make(map[string]bool)
+			confirmedBy[inst.Param] = set
+		}
+		set[inst.Test] = true
+		if len(set) == c.opts.QuarantineThreshold {
+			c.o.CounterAdd(obs.MQuarantine, 1, "app", c.app.Name)
+			c.gen.Quarantine(inst.Param)
+		}
+	}
 }
 
 // filterConfirmed drops pool members whose parameter is already confirmed
@@ -347,7 +456,9 @@ func selectTests(app *harness.App, names []string) (tests []*harness.UnitTest, u
 
 // parallelMap runs fn over items with bounded parallelism, preserving
 // order. When o is live it records how long each item waited for a
-// worker slot (the semaphore queue-wait histogram).
+// worker slot (the semaphore queue-wait histogram) and how long it then
+// ran (the per-item run-time histogram) — wait vs run is what makes
+// tail latency attributable to scheduling rather than to slow items.
 func parallelMap[I any, O any](parallelism int, o *obs.Observer, app, stage string, items []I, fn func(I) O) []O {
 	out := make([]O, len(items))
 	sem := make(chan struct{}, parallelism)
@@ -366,7 +477,14 @@ func parallelMap[I any, O any](parallelism int, o *obs.Observer, app, stage stri
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if o == nil {
+				out[i] = fn(items[i])
+				return
+			}
+			runStart := time.Now()
 			out[i] = fn(items[i])
+			o.Observe(obs.MItemRunSeconds, time.Since(runStart).Seconds(),
+				"app", app, "stage", stage)
 		}(i)
 	}
 	wg.Wait()

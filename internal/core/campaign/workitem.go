@@ -20,6 +20,11 @@ type WorkItem struct {
 	ID     int            `json:"id"`
 	Test   string         `json:"test"`
 	PreRun testgen.PreRun `json:"prerun"`
+	// PredSeconds is the scheduler's predicted wall clock for this item
+	// (profile estimate, or the cold-campaign pre-run fallback). Purely
+	// advisory: it orders dispatch and arms speculation deadlines, and
+	// never influences what the item executes.
+	PredSeconds float64 `json:"pred_seconds,omitempty"`
 }
 
 // BuildItems converts phase 1's pre-run reports into phase 2's work items.
@@ -224,10 +229,9 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 // items are folded in ID order and every aggregate is commutative or
 // resolved by that order, so the merged Result is identical no matter
 // which worker ran which item, or whether some results were replayed
-// from a checkpoint journal. emitQuarantineMetric is set by the
-// distributed path, where no live hook counted quarantine events.
-func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator, itemResults []ItemResult, opts Options, emitQuarantineMetric bool) {
-	o := opts.Obs
+// from a checkpoint journal. Quarantine-skipped instances simply never
+// appear in Verdicts, so they merge as skipped, not failed.
+func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator, itemResults []ItemResult, opts Options) {
 	sorted := make([]ItemResult, len(itemResults))
 	copy(sorted, itemResults)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
@@ -298,9 +302,6 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 			res.TruePositives++
 		} else {
 			res.FalsePositives++
-		}
-		if emitQuarantineMetric && len(ps.tests) >= opts.QuarantineThreshold {
-			o.CounterAdd(obs.MQuarantine, 1, "app", res.App)
 		}
 	}
 	sort.Slice(res.Reported, func(i, j int) bool { return res.Reported[i].Param < res.Reported[j].Param })

@@ -15,6 +15,8 @@ import (
 
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/memo"
+	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/sched"
 	"zebraconf/internal/obs"
 )
 
@@ -61,6 +63,22 @@ type Options struct {
 	// MaxItems, when positive, halts the run after that many items
 	// complete — a testing hook for exercising checkpoint/resume.
 	MaxItems int
+	// SchedPolicy selects the work queue's dispatch order (sched.FIFO,
+	// the zero value, keeps submission order with back-steals; sched.LPT
+	// pops the longest-predicted item first).
+	SchedPolicy sched.Policy
+	// SpeculationFactor enables straggler speculation: once the queue is
+	// drained, an item held by one worker for longer than this factor ×
+	// its predicted duration is re-issued to an idle worker,
+	// first-result-wins. Zero (or negative) disables speculation.
+	SpeculationFactor float64
+	// Profile, when non-nil, receives every completed item's wall clock
+	// so later campaigns predict durations from it.
+	Profile *sched.Profile
+	// QuarantineThreshold is the number of distinct confirming tests
+	// after which a parameter is broadcast to workers as quarantined
+	// (§4's frequent-failer rule); 0 means 3.
+	QuarantineThreshold int
 	// Obs receives the coordinator's metrics, spans, and the progress /
 	// verdict replay of worker results. Nil disables observability.
 	Obs *obs.Observer
@@ -73,16 +91,30 @@ type Coordinator struct {
 	opts Options
 }
 
-// New builds a Coordinator. Option defaults are resolved at Execute time.
+// New builds a Coordinator. Option defaults are resolved at Start time.
 func New(opts Options) *Coordinator {
 	return &Coordinator{opts: opts}
 }
 
-// Execute runs the items to completion (or MaxItems, or unrecoverable
-// worker loss) and returns one ItemResult per completed item — including
-// items replayed from ResumePath and items quarantined after exhausting
-// retries — sorted by item ID.
+// Execute runs a fixed batch of items to completion: Start, Submit every
+// item, Drain. Kept for callers that have the whole batch up front.
 func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]campaign.ItemResult, error) {
+	run, err := c.Start(parent, len(items))
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		run.Submit(it)
+	}
+	return run.Drain()
+}
+
+// Start opens an incremental run expecting exactly total Submits:
+// workers spawn immediately and start on items as they arrive, which is
+// what lets the campaign's streaming pipeline dispatch each item the
+// moment its pre-run finishes. Checkpoint/resume state loads here, so
+// Submit can skip already-completed items.
+func (c *Coordinator) Start(parent obs.SpanID, total int) (*Run, error) {
 	if c.opts.WorkerCmd == nil {
 		return nil, errors.New("dist: Coordinator requires WorkerCmd")
 	}
@@ -94,12 +126,12 @@ func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]c
 	span := o.StartSpan("distribute", parent,
 		obs.String("app", c.opts.App),
 		obs.Int("workers", int64(workers)),
-		obs.Int("items", int64(len(items))))
-	defer span.End()
+		obs.Int("items", int64(total)))
 
-	r := &crun{
+	r := &Run{
 		opts:    c.opts,
 		workers: workers,
+		total:   total,
 		o:       o,
 		span:    span,
 	}
@@ -112,17 +144,40 @@ func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]c
 	if r.opts.ItemRetries < 0 {
 		r.opts.ItemRetries = DefaultItemRetries
 	}
-	return r.execute(items)
+	if r.opts.QuarantineThreshold <= 0 {
+		r.opts.QuarantineThreshold = 3
+	}
+	if err := r.start(); err != nil {
+		if r.journal != nil {
+			r.journal.Close()
+		}
+		span.End()
+		return nil, err
+	}
+	return r, nil
 }
 
-// crun is the state of one Execute call.
-type crun struct {
+// flight is the coordinator's view of one dispatched (primary) attempt,
+// the speculation bookkeeping: who holds the item, since when, and
+// whether a speculative copy is already out.
+type flight struct {
+	item  campaign.WorkItem
+	slot  int
+	start time.Time
+	spec  bool
+}
+
+// Run is one coordinator execution in flight, between Start and Drain.
+type Run struct {
 	opts    Options
 	workers int
+	total   int
 	o       *obs.Observer
 	span    *obs.Span
 	journal *Journal
 	q       *queue
+	resumed map[int]*campaign.ItemResult
+	wg      sync.WaitGroup
 
 	// sharedCache is the coordinator-side execution cache served to
 	// workers over cache-get/cache-put; nil when memoization (or just
@@ -131,9 +186,19 @@ type crun struct {
 	cacheMu     sync.Mutex
 	sharedCache map[memo.Key]memo.Result
 
-	mu          sync.Mutex
-	results     map[int]campaign.ItemResult
-	attempts    map[int]int
+	mu           sync.Mutex
+	results      map[int]campaign.ItemResult
+	attempts     map[int]int
+	flights      map[int]*flight
+	sessions     map[int]*workerSession
+	confirmedBy  map[string]map[string]bool
+	quarantined  map[string]bool
+	submitted    int
+	allSubmitted bool
+	// durSum/durN hold a running mean of completed-item durations, the
+	// speculation deadline fallback for items without a prediction.
+	durSum      float64
+	durN        int
 	completions int // unique pending items resolved this run
 	pendingN    int
 	live        int // worker slots not yet permanently dead
@@ -144,52 +209,81 @@ type crun struct {
 	doneCh      chan struct{}
 }
 
-func (r *crun) execute(items []campaign.WorkItem) ([]campaign.ItemResult, error) {
-	resumed, err := r.loadResume(items)
+func (r *Run) start() error {
+	resumed, err := r.loadResume()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := r.openCheckpoint(items, resumed); err != nil {
-		return nil, err
+	if err := r.openCheckpoint(resumed); err != nil {
+		return err
 	}
-	if r.journal != nil {
-		defer r.journal.Close()
-	}
-
-	var pending []campaign.WorkItem
-	for _, it := range items {
-		if _, done := resumed[it.ID]; !done {
-			pending = append(pending, it)
-		}
-	}
-	r.results = make(map[int]campaign.ItemResult, len(pending))
+	r.resumed = resumed
+	r.results = make(map[int]campaign.ItemResult)
 	r.attempts = make(map[int]int)
-	r.pendingN = len(pending)
+	r.flights = make(map[int]*flight)
+	r.sessions = make(map[int]*workerSession)
+	r.confirmedBy = make(map[string]map[string]bool)
+	r.quarantined = make(map[string]bool)
+	r.pendingN = r.total - len(resumed)
 	r.live = r.workers
 	r.doneCh = make(chan struct{})
-
-	if len(pending) > 0 {
-		r.q = newQueue(r.workers, pending)
-		r.o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", r.opts.App)
-		var wg sync.WaitGroup
-		for slot := 0; slot < r.workers; slot++ {
-			wg.Add(1)
-			go func(slot int) {
-				defer wg.Done()
-				r.supervise(slot)
-			}(slot)
-		}
-		wg.Wait()
-		r.o.GaugeSet(obs.MQueueDepth, 0, "app", r.opts.App)
+	r.q = newQueue(r.workers, r.opts.SchedPolicy)
+	// Resumed confirmations count toward quarantine, so this run's
+	// workers still learn about parameters the interrupted run condemned
+	// (via the catch-up send when each session registers).
+	for _, res := range resumed {
+		r.noteConfirmations(*res, false)
 	}
+	if r.pendingN <= 0 {
+		r.finished = true
+		close(r.doneCh)
+		return nil
+	}
+	for slot := 0; slot < r.workers; slot++ {
+		r.wg.Add(1)
+		go func(slot int) {
+			defer r.wg.Done()
+			r.supervise(slot)
+		}(slot)
+	}
+	return nil
+}
 
+// Submit hands one work item to the run; exactly Start's total must be
+// submitted. Items completed by a resumed journal are skipped (their
+// results are already in); the rest enter the queue immediately, so
+// workers start on them while later pre-runs are still executing.
+func (r *Run) Submit(item campaign.WorkItem) {
+	r.mu.Lock()
+	r.submitted++
+	r.allSubmitted = r.submitted >= r.total
+	_, done := r.resumed[item.ID]
+	r.mu.Unlock()
+	if done || r.pendingN <= 0 {
+		return
+	}
+	r.q.push(item)
+	r.o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", r.opts.App)
+}
+
+// Drain blocks until every pending item resolves (or the run halts, or
+// every worker slot is lost) and returns one ItemResult per completed
+// item — including items replayed from ResumePath and items quarantined
+// after exhausting retries — sorted by item ID.
+func (r *Run) Drain() ([]campaign.ItemResult, error) {
+	r.wg.Wait()
+	r.o.GaugeSet(obs.MQueueDepth, 0, "app", r.opts.App)
+	if r.journal != nil {
+		r.journal.Close()
+	}
+	defer r.span.End()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.failErr != nil && r.completions < r.pendingN && !r.halted {
 		return nil, r.failErr
 	}
-	out := make([]campaign.ItemResult, 0, len(resumed)+len(r.results))
-	for _, res := range resumed {
+	out := make([]campaign.ItemResult, 0, len(r.resumed)+len(r.results))
+	for _, res := range r.resumed {
 		out = append(out, *res)
 	}
 	for _, res := range r.results {
@@ -203,7 +297,7 @@ func (r *crun) execute(items []campaign.WorkItem) ([]campaign.ItemResult, error)
 // that the journal belongs to this exact campaign (app, seed, item count
 // — item IDs are indexes into the pre-run order, so any mismatch would
 // silently misattribute results).
-func (r *crun) loadResume(items []campaign.WorkItem) (map[int]*campaign.ItemResult, error) {
+func (r *Run) loadResume() (map[int]*campaign.ItemResult, error) {
 	if r.opts.ResumePath == "" {
 		return nil, nil
 	}
@@ -217,11 +311,11 @@ func (r *crun) loadResume(items []campaign.WorkItem) (map[int]*campaign.ItemResu
 		switch rec.Kind {
 		case KindHeader:
 			headers++
-			if rec.App != r.opts.App || rec.Seed != r.opts.Config.Seed || rec.Items != len(items) {
+			if rec.App != r.opts.App || rec.Seed != r.opts.Config.Seed || rec.Items != r.total {
 				return nil, fmt.Errorf(
 					"dist: checkpoint %s is for app=%s seed=%d items=%d, not app=%s seed=%d items=%d",
 					r.opts.ResumePath, rec.App, rec.Seed, rec.Items,
-					r.opts.App, r.opts.Config.Seed, len(items))
+					r.opts.App, r.opts.Config.Seed, r.total)
 			}
 		case KindDone:
 			if rec.Result != nil {
@@ -241,7 +335,7 @@ func (r *crun) loadResume(items []campaign.WorkItem) (map[int]*campaign.ItemResu
 // openCheckpoint opens the checkpoint journal and appends this session's
 // header. When resuming into a different file, the resumed results are
 // re-journaled so the new checkpoint is self-contained.
-func (r *crun) openCheckpoint(items []campaign.WorkItem, resumed map[int]*campaign.ItemResult) error {
+func (r *Run) openCheckpoint(resumed map[int]*campaign.ItemResult) error {
 	if r.opts.CheckpointPath == "" {
 		return nil
 	}
@@ -250,7 +344,7 @@ func (r *crun) openCheckpoint(items []campaign.WorkItem, resumed map[int]*campai
 		return err
 	}
 	r.journal = j
-	if err := j.Append(Record{Kind: KindHeader, App: r.opts.App, Seed: r.opts.Config.Seed, Items: len(items)}); err != nil {
+	if err := j.Append(Record{Kind: KindHeader, App: r.opts.App, Seed: r.opts.Config.Seed, Items: r.total}); err != nil {
 		return err
 	}
 	sameFile := r.opts.ResumePath != "" &&
@@ -282,7 +376,7 @@ const (
 
 // supervise owns one worker slot: spawn, run a session, respawn on crash,
 // retire the slot after spawnFailureLimit consecutive failed launches.
-func (r *crun) supervise(slot int) {
+func (r *Run) supervise(slot int) {
 	fails := 0
 	for {
 		if r.stopped() {
@@ -317,12 +411,14 @@ func (r *crun) supervise(slot int) {
 
 // session drives one live worker until the run completes, the worker is
 // lost, or it never becomes ready.
-func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
+func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 	o := r.o
 	app := r.opts.App
 	wspan := o.StartSpan("worker", r.span.ID(),
 		obs.String("app", app), obs.Int("slot", int64(slot)))
 	defer wspan.End()
+	r.addSession(slot, sess)
+	defer r.removeSession(slot, sess)
 
 	parallel := r.opts.Config.Parallel
 	if parallel <= 0 {
@@ -331,6 +427,7 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 	type entry struct {
 		item  campaign.WorkItem
 		start time.Time
+		spec  bool
 	}
 	inflight := make(map[int]entry)
 	ready := false
@@ -338,12 +435,18 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 	itemsDone := 0
 
 	// crash tears the session down after the worker is lost: every
-	// inflight item is penalized (it may be what killed the worker).
+	// inflight primary attempt is penalized (it may be what killed the
+	// worker); a speculative copy just evaporates — the primary attempt
+	// elsewhere still owns its item.
 	crash := func(reason string) sessionOutcome {
 		sess.kill()
 		o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", reason)
 		wspan.SetAttr(obs.String("end", reason), obs.Int("items", int64(itemsDone)))
-		for _, e := range inflight {
+		for id, e := range inflight {
+			if e.spec {
+				r.clearSpec(id)
+				continue
+			}
 			r.retryOrGiveUp(slot, e.item, reason)
 		}
 		return sessCrashed
@@ -361,21 +464,41 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 	for {
 		if ready && !r.stopped() {
 			for len(inflight) < parallel {
-				item, stolen, ok := r.q.tryPop(slot)
+				item, wait, jumped, stolen, ok := r.q.tryPop(slot)
+				spec := false
 				if !ok {
-					break
+					// Queue drained: consider re-issuing a straggler held
+					// by another worker instead of idling this slot.
+					item, ok = r.maybeSpeculate(slot)
+					if !ok {
+						break
+					}
+					spec = true
+					o.CounterAdd(obs.MSpeculativeRuns, 1, "app", app)
+				} else {
+					o.Observe(obs.MSchedQueueWait, wait.Seconds(), "app", app, "stage", "dist")
+					if jumped {
+						o.CounterAdd(obs.MSchedReordered, 1, "app", app)
+					}
+					if stolen {
+						o.CounterAdd(obs.MSteals, 1, "app", app)
+					}
+					o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", app)
 				}
-				if stolen {
-					o.CounterAdd(obs.MSteals, 1, "app", app)
-				}
-				o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", app)
 				if err := sess.send(Msg{Type: MsgRun, Item: &item}); err != nil {
 					// The item never reached the worker; requeue it for
 					// free and treat the broken pipe as a crash.
-					r.q.requeue(slot, item)
+					if spec {
+						r.clearSpec(item.ID)
+					} else {
+						r.q.requeue(slot, item)
+					}
 					return crash("crash")
 				}
-				inflight[item.ID] = entry{item: item, start: time.Now()}
+				if !spec {
+					r.trackFlight(slot, item)
+				}
+				inflight[item.ID] = entry{item: item, start: time.Now(), spec: spec}
 			}
 		}
 		if r.stopped() {
@@ -415,7 +538,7 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 				}
 				delete(inflight, m.Result.ID)
 				itemsDone++
-				r.recordResult(slot, *m.Result, time.Since(e.start))
+				r.recordResult(slot, *m.Result, time.Since(e.start), e.spec)
 			case MsgCacheGet:
 				if m.CacheKey == nil {
 					break
@@ -451,11 +574,22 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 				}
 				// The overdue item is the suspect: it alone is penalized.
 				// The worker is killed (the item's goroutine cannot be),
-				// so the other inflight items requeue for free.
+				// so the other inflight items requeue for free — except
+				// speculative copies, which simply evaporate (their
+				// primaries are still running elsewhere).
 				sess.kill()
 				delete(inflight, id)
-				r.retryOrGiveUp(slot, e.item, "timeout")
-				for _, other := range inflight {
+				if e.spec {
+					r.clearSpec(id)
+				} else {
+					r.retryOrGiveUp(slot, e.item, "timeout")
+				}
+				for oid, other := range inflight {
+					if other.spec {
+						r.clearSpec(oid)
+						continue
+					}
+					r.untrackFlight(oid)
 					r.q.requeue(slot, other.item)
 				}
 				o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", "timeout")
@@ -468,8 +602,102 @@ func (r *crun) session(slot int, sess *workerSession) sessionOutcome {
 	}
 }
 
+// addSession registers a live worker for quarantine broadcasts and sends
+// it the hints it missed (a respawned worker starts with a clean slate;
+// so does every worker of a resumed run).
+func (r *Run) addSession(slot int, s *workerSession) {
+	r.mu.Lock()
+	r.sessions[slot] = s
+	params := make([]string, 0, len(r.quarantined))
+	for p := range r.quarantined {
+		params = append(params, p)
+	}
+	r.mu.Unlock()
+	sort.Strings(params)
+	for _, p := range params {
+		s.send(Msg{Type: MsgQuarantine, Param: p})
+	}
+}
+
+func (r *Run) removeSession(slot int, s *workerSession) {
+	r.mu.Lock()
+	if r.sessions[slot] == s {
+		delete(r.sessions, slot)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Run) trackFlight(slot int, item campaign.WorkItem) {
+	r.mu.Lock()
+	r.flights[item.ID] = &flight{item: item, slot: slot, start: time.Now()}
+	r.mu.Unlock()
+}
+
+func (r *Run) untrackFlight(id int) {
+	r.mu.Lock()
+	delete(r.flights, id)
+	r.mu.Unlock()
+}
+
+// clearSpec forgets a lost speculative copy so a future idle worker may
+// speculate the item again.
+func (r *Run) clearSpec(id int) {
+	r.mu.Lock()
+	if f := r.flights[id]; f != nil {
+		f.spec = false
+	}
+	r.mu.Unlock()
+}
+
+// maybeSpeculate picks a straggler to re-issue on an idle slot: the most
+// overdue un-speculated flight held by another worker, judged against
+// its predicted duration (or the running mean of completed items when no
+// prediction exists). Only after every item has been submitted and the
+// queue is drained — speculation must never displace first-run work —
+// and at most one speculative copy per item at a time. First result
+// wins; executions are canonically seeded, so the copies are
+// byte-identical and the loser is discarded as a duplicate.
+func (r *Run) maybeSpeculate(slot int) (campaign.WorkItem, bool) {
+	if r.opts.SpeculationFactor <= 0 || r.q.depth() != 0 {
+		return campaign.WorkItem{}, false
+	}
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.allSubmitted || r.finished {
+		return campaign.WorkItem{}, false
+	}
+	var mean float64
+	if r.durN > 0 {
+		mean = r.durSum / float64(r.durN)
+	}
+	var best *flight
+	var bestRatio float64
+	for _, f := range r.flights {
+		if f.spec || f.slot == slot {
+			continue
+		}
+		pred := f.item.PredSeconds
+		if pred <= 0 {
+			pred = mean
+		}
+		held := now.Sub(f.start)
+		if !sched.Overdue(held, pred, r.opts.SpeculationFactor) {
+			continue
+		}
+		if ratio := held.Seconds() / pred; best == nil || ratio > bestRatio {
+			best, bestRatio = f, ratio
+		}
+	}
+	if best == nil {
+		return campaign.WorkItem{}, false
+	}
+	best.spec = true
+	return best.item, true
+}
+
 // cacheGet serves one worker lookup from the shared execution cache.
-func (r *crun) cacheGet(k memo.Key) (memo.Result, bool) {
+func (r *Run) cacheGet(k memo.Key) (memo.Result, bool) {
 	if r.sharedCache == nil {
 		return memo.Result{}, false
 	}
@@ -487,7 +715,7 @@ func (r *crun) cacheGet(k memo.Key) (memo.Result, bool) {
 // cachePut stores one worker-published result. First write wins: the
 // harness is seeded-deterministic, so concurrent publishers for one key
 // carry identical results anyway.
-func (r *crun) cachePut(k memo.Key, res memo.Result) {
+func (r *Run) cachePut(k memo.Key, res memo.Result) {
 	if r.sharedCache == nil {
 		return
 	}
@@ -500,27 +728,44 @@ func (r *crun) cachePut(k memo.Key, res memo.Result) {
 
 // recordResult journals and accounts one completed item, replaying its
 // observable campaign signals (progress, verdict counters) that the
-// worker process could not record itself.
-func (r *crun) recordResult(slot int, res campaign.ItemResult, elapsed time.Duration) {
+// worker process could not record itself. First result wins: a duplicate
+// — the losing copy of a speculated item, or a timeout-retry race — is
+// discarded here, before any accounting.
+func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Duration, spec bool) {
 	r.mu.Lock()
 	_, dup := r.results[res.ID]
+	var pred float64
 	if !dup {
 		r.results[res.ID] = res
 		r.completions++
+		if f := r.flights[res.ID]; f != nil {
+			pred = f.item.PredSeconds
+			delete(r.flights, res.ID)
+		}
+		r.durSum += elapsed.Seconds()
+		r.durN++
 	}
 	r.mu.Unlock()
-	r.q.done()
+	if !spec {
+		// Balance this attempt's queue pop. A speculative copy never
+		// popped: its primary attempt settles the queue accounting when
+		// it completes or is retired.
+		r.q.done()
+	}
 	if dup {
-		// A timeout kill raced with this item's completion and the retry
-		// also finished; execution is deterministic, so the copies agree.
+		// Execution is canonically seeded, so the copies agree; nothing
+		// to record.
 		return
+	}
+	o, app := r.o, r.opts.App
+	if spec {
+		o.CounterAdd(obs.MSpeculationWins, 1, "app", app)
 	}
 	if r.journal != nil {
 		if err := r.journal.Append(Record{Kind: KindDone, Item: res.ID, Test: res.Test, Result: &res}); err != nil {
 			r.noteFailure("checkpoint write failed: " + err.Error())
 		}
 	}
-	o, app := r.o, r.opts.App
 	o.CounterAdd(obs.MWorkerItems, 1, "app", app, "worker", strconv.Itoa(slot))
 	o.Observe(obs.MItemSeconds, elapsed.Seconds(), "app", app)
 	o.CounterAdd(obs.MItemExecutions, res.Executions, "app", app)
@@ -541,14 +786,64 @@ func (r *crun) recordResult(slot int, res campaign.ItemResult, elapsed time.Dura
 	if res.LeakedGoroutines > 0 {
 		o.CounterAdd(obs.MAbandonedGoroutines, res.LeakedGoroutines, "app", app, "test", res.Test)
 	}
+	r.opts.Profile.Record(app, res.Test, elapsed.Seconds())
+	if pred > 0 {
+		o.Observe(obs.MSchedPredRatio, elapsed.Seconds()/pred, "app", app)
+	}
+	r.noteConfirmations(res, true)
 	r.maybeFinish()
+}
+
+// noteConfirmations applies §4's frequent-failer rule to one item
+// result: when a parameter reaches QuarantineThreshold distinct
+// confirming tests, it is broadcast (best-effort) to every live worker
+// so remaining items skip its instances. emit is false when folding
+// resumed results, whose quarantine state should register silently.
+func (r *Run) noteConfirmations(res campaign.ItemResult, emit bool) {
+	for _, v := range res.Verdicts {
+		if v.Verdict != runner.VerdictUnsafe.String() {
+			continue
+		}
+		r.mu.Lock()
+		set := r.confirmedBy[v.Param]
+		if set == nil {
+			set = make(map[string]bool)
+			r.confirmedBy[v.Param] = set
+		}
+		set[res.Test] = true
+		fire := len(set) >= r.opts.QuarantineThreshold && !r.quarantined[v.Param]
+		var targets []*workerSession
+		if fire {
+			r.quarantined[v.Param] = true
+			for _, s := range r.sessions {
+				targets = append(targets, s)
+			}
+		}
+		r.mu.Unlock()
+		if fire && emit {
+			r.o.CounterAdd(obs.MQuarantine, 1, "app", r.opts.App)
+			for _, s := range targets {
+				// Best-effort: a send failure means the worker is dying
+				// and its supervisor will notice through the session.
+				s.send(Msg{Type: MsgQuarantine, Param: v.Param})
+			}
+		}
+	}
 }
 
 // retryOrGiveUp charges one failed attempt to an item: requeue it for a
 // fresh worker, or — past the retry budget — quarantine it with a
 // fabricated result so the campaign report surfaces the coverage gap.
-func (r *crun) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
+// An item already resolved (typically by a speculative copy that won
+// while its primary crashed) is simply released.
+func (r *Run) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
 	r.mu.Lock()
+	if _, resolved := r.results[item.ID]; resolved {
+		r.mu.Unlock()
+		r.q.done()
+		return
+	}
+	delete(r.flights, item.ID)
 	r.attempts[item.ID]++
 	n := r.attempts[item.ID]
 	r.mu.Unlock()
@@ -581,7 +876,7 @@ func (r *crun) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
 
 // maybeFinish closes the run when every pending item is resolved, or
 // when the MaxItems testing hook trips.
-func (r *crun) maybeFinish() {
+func (r *Run) maybeFinish() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.finished {
@@ -599,7 +894,7 @@ func (r *crun) maybeFinish() {
 	}
 }
 
-func (r *crun) stopped() bool {
+func (r *Run) stopped() bool {
 	select {
 	case <-r.doneCh:
 		return true
@@ -608,7 +903,7 @@ func (r *crun) stopped() bool {
 	}
 }
 
-func (r *crun) noteFailure(msg string) {
+func (r *Run) noteFailure(msg string) {
 	r.mu.Lock()
 	r.lastFailure = msg
 	r.mu.Unlock()
@@ -616,7 +911,7 @@ func (r *crun) noteFailure(msg string) {
 
 // slotDied retires a worker slot permanently; when the last slot dies
 // with work remaining, the run fails.
-func (r *crun) slotDied() {
+func (r *Run) slotDied() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.live--
@@ -639,7 +934,7 @@ type workerSession struct {
 }
 
 // spawn launches a worker subprocess and sends it the init message.
-func (r *crun) spawn(slot int) (*workerSession, error) {
+func (r *Run) spawn(slot int) (*workerSession, error) {
 	cmd := r.opts.WorkerCmd()
 	if cmd == nil {
 		return nil, errors.New("dist: WorkerCmd returned nil")

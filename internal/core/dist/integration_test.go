@@ -38,6 +38,10 @@ func TestMain(m *testing.M) {
 }
 
 func runWorker() {
+	if os.Getenv("ZEBRACONF_DIST_FAKE") != "" {
+		runFakeWorker()
+		return
+	}
 	if os.Getenv("ZEBRACONF_DIST_HANG") == "1" {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Scan() // init
@@ -105,24 +109,46 @@ func minihdfs(t *testing.T) *harness.App {
 	return app
 }
 
+// testDistributor adapts a Coordinator to campaign.Distributor, holding
+// any Start/Drain error for the test to check after the campaign.
+type testDistributor struct {
+	coord *dist.Coordinator
+	run   *dist.Run
+	err   error
+}
+
+func (d *testDistributor) Begin(parent obs.SpanID, total int) {
+	d.run, d.err = d.coord.Start(parent, total)
+}
+
+func (d *testDistributor) Submit(item campaign.WorkItem) {
+	if d.err == nil {
+		d.run.Submit(item)
+	}
+}
+
+func (d *testDistributor) Drain() []campaign.ItemResult {
+	if d.err != nil {
+		return nil
+	}
+	res, err := d.run.Drain()
+	if err != nil {
+		d.err = err
+	}
+	return res
+}
+
 // runDistributed runs a campaign with phase 2 executed by a Coordinator.
 func runDistributed(t *testing.T, app *harness.App, opts campaign.Options, dopts dist.Options) *campaign.Result {
 	t.Helper()
 	dopts.App = app.Name
 	dopts.Config = dist.ConfigFrom(opts)
 	dopts.Obs = opts.Obs
-	coord := dist.New(dopts)
-	var execErr error
-	opts.Distribute = func(parent obs.SpanID, items []campaign.WorkItem) []campaign.ItemResult {
-		res, err := coord.Execute(parent, items)
-		if err != nil {
-			execErr = err
-		}
-		return res
-	}
+	d := &testDistributor{coord: dist.New(dopts)}
+	opts.Distributor = d
 	res := campaign.Run(app, opts)
-	if execErr != nil {
-		t.Fatal(execErr)
+	if d.err != nil {
+		t.Fatal(d.err)
 	}
 	return res
 }

@@ -52,6 +52,13 @@ const (
 	// on worker B (most usefully when a retried item lands on a fresh
 	// worker that would otherwise redo the lost worker's runs).
 	MsgCachePut = "cache-put"
+	// MsgQuarantine (coordinator → worker) broadcasts one parameter
+	// confirmed unsafe by enough distinct tests (§4's frequent-failer
+	// rule): workers skip its remaining instances. Best-effort and purely
+	// a pruning hint — a worker that never hears it just does extra work,
+	// and skipped instances merge as skipped, not failed, so resume stays
+	// correct.
+	MsgQuarantine = "quarantine"
 )
 
 // Msg is the single wire envelope; Type selects which fields are set.
@@ -63,6 +70,8 @@ type Msg struct {
 	Result *campaign.ItemResult `json:"result,omitempty"`
 	PID    int                  `json:"pid,omitempty"`
 	Error  string               `json:"error,omitempty"`
+	// Param carries the quarantined parameter of a MsgQuarantine.
+	Param string `json:"param,omitempty"`
 	// Shared-execution-cache fields (MsgCacheGet / MsgCacheVal /
 	// MsgCachePut). Req correlates a get with its val reply.
 	Req      int64        `json:"req,omitempty"`

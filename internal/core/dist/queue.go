@@ -2,19 +2,32 @@ package dist
 
 import (
 	"sync"
+	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/sched"
 )
 
+// queued is one waiting work item plus its scheduling metadata.
+type queued struct {
+	item campaign.WorkItem
+	seq  int
+	enq  time.Time
+}
+
 // queue is the coordinator's sharded work queue. Items are dealt
-// round-robin across one shard per worker slot, so each worker starts on
-// a disjoint stripe of the campaign; a worker that drains its own shard
-// steals from the back of the longest other shard. Stealing from the
-// back keeps the victim's front — the items it will pop next — intact,
-// the classic work-stealing deque discipline.
+// round-robin across one shard per worker slot as they are submitted, so
+// each worker starts on a disjoint stripe of the campaign; a worker that
+// drains its own shard steals from the longest other shard. Under the
+// FIFO policy a worker pops its shard's front and steals from the back
+// (the classic work-stealing deque discipline, keeping the victim's
+// front intact); under LPT both pops pick the longest-predicted item, so
+// the items that dominate the makespan start first.
 type queue struct {
 	mu     sync.Mutex
-	shards [][]campaign.WorkItem
+	policy sched.Policy
+	shards [][]queued
+	seq    int
 	// outstanding counts items popped but not yet marked done; the
 	// campaign is complete when every shard is empty and outstanding
 	// is zero.
@@ -26,45 +39,84 @@ type queue struct {
 	steals int64
 }
 
-func newQueue(shards int, items []campaign.WorkItem) *queue {
-	q := &queue{
-		shards: make([][]campaign.WorkItem, shards),
+func newQueue(shards int, policy sched.Policy) *queue {
+	return &queue{
+		policy: policy,
+		shards: make([][]queued, shards),
 		wake:   make(chan struct{}, 1),
 	}
-	for i, it := range items {
-		s := i % shards
-		q.shards[s] = append(q.shards[s], it)
-	}
-	return q
 }
 
-// tryPop returns the next item for worker slot w: the front of its own
-// shard, else the back of the longest other shard (a steal). ok=false
-// means no work is currently queued (some may still be outstanding).
-func (q *queue) tryPop(w int) (item campaign.WorkItem, stolen bool, ok bool) {
+// push enqueues one submitted item on the next round-robin shard.
+func (q *queue) push(item campaign.WorkItem) {
+	q.mu.Lock()
+	s := q.seq % len(q.shards)
+	q.shards[s] = append(q.shards[s], queued{item: item, seq: q.seq, enq: time.Now()})
+	q.seq++
+	q.mu.Unlock()
+	q.pulse()
+}
+
+// pickFrom selects the index to pop from a shard: under LPT the
+// longest-predicted item (ties to the earliest-submitted); under FIFO,
+// front for the own shard and back for a steal.
+func (q *queue) pickFrom(shard []queued, stealing bool) int {
+	if q.policy == sched.LPT {
+		best := 0
+		for i := 1; i < len(shard); i++ {
+			if shard[i].item.PredSeconds > shard[best].item.PredSeconds {
+				best = i
+			}
+		}
+		return best
+	}
+	if stealing {
+		return len(shard) - 1
+	}
+	return 0
+}
+
+// tryPop returns the next item for worker slot w, how long it waited
+// queued, and whether the pop overtook an earlier-submitted item in its
+// shard (the reorder statistic). ok=false means no work is currently
+// queued (some may still be outstanding).
+func (q *queue) tryPop(w int) (item campaign.WorkItem, wait time.Duration, jumped, stolen, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.shards[w]) > 0 {
-		item = q.shards[w][0]
-		q.shards[w] = q.shards[w][1:]
-		q.outstanding++
-		return item, false, true
+	shard := w
+	if len(q.shards[w]) == 0 {
+		victim, best := -1, 0
+		for i := range q.shards {
+			if i != w && len(q.shards[i]) > best {
+				victim, best = i, len(q.shards[i])
+			}
+		}
+		if victim < 0 {
+			return campaign.WorkItem{}, 0, false, false, false
+		}
+		shard = victim
+		stolen = true
+		q.steals++
 	}
-	victim, best := -1, 0
-	for i := range q.shards {
-		if i != w && len(q.shards[i]) > best {
-			victim, best = i, len(q.shards[i])
+	s := q.shards[shard]
+	pick := q.pickFrom(s, stolen)
+	t := s[pick]
+	// The reorder statistic counts scheduler decisions, not baseline
+	// work-stealing: only an LPT pick that overtakes an earlier-submitted
+	// item in its shard is a reorder (FIFO, the ablation baseline, always
+	// reads zero here).
+	if q.policy == sched.LPT {
+		for _, other := range s {
+			if other.seq < t.seq {
+				jumped = true
+				break
+			}
 		}
 	}
-	if victim < 0 {
-		return campaign.WorkItem{}, false, false
-	}
-	last := len(q.shards[victim]) - 1
-	item = q.shards[victim][last]
-	q.shards[victim] = q.shards[victim][:last]
+	copy(s[pick:], s[pick+1:])
+	q.shards[shard] = s[:len(s)-1]
 	q.outstanding++
-	q.steals++
-	return item, true, true
+	return t.item, time.Since(t.enq), jumped, stolen, true
 }
 
 // requeue returns a popped item to the queue for a retry, preferring a
@@ -76,7 +128,8 @@ func (q *queue) requeue(failedSlot int, item campaign.WorkItem) {
 	if len(q.shards) > 1 {
 		target = (failedSlot + 1) % len(q.shards)
 	}
-	q.shards[target] = append(q.shards[target], item)
+	q.shards[target] = append(q.shards[target], queued{item: item, seq: q.seq, enq: time.Now()})
+	q.seq++
 	q.outstanding--
 	q.mu.Unlock()
 	q.pulse()

@@ -122,6 +122,12 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 	var wg sync.WaitGroup
 	var sendErr error
 	var errOnce sync.Once
+	// quarantined accumulates the coordinator's MsgQuarantine hints (§4's
+	// frequent-failer rule, confirmed across workers). Applied to each
+	// item's fresh Generator before execution, so later items skip the
+	// condemned parameter's instances just as the in-process path would.
+	var qmu sync.Mutex
+	quarantined := make(map[string]bool)
 	// drain waits out in-flight items; their results still matter to a
 	// coordinator that is shutting down cleanly. The remote cache must
 	// release its waiters first: nobody will read another cache-val off
@@ -148,6 +154,14 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 			}
 			continue
 		}
+		if m.Type == MsgQuarantine {
+			if m.Param != "" {
+				qmu.Lock()
+				quarantined[m.Param] = true
+				qmu.Unlock()
+			}
+			continue
+		}
 		if m.Type != MsgRun || m.Item == nil {
 			return fmt.Errorf("dist: worker: unexpected message %q", m.Type)
 		}
@@ -161,6 +175,11 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 			if len(opts.Params) > 0 {
 				gen.SetFilter(opts.Params)
 			}
+			qmu.Lock()
+			for p := range quarantined {
+				gen.Quarantine(p)
+			}
+			qmu.Unlock()
 			res := campaign.ExecuteItem(app, gen, run, opts, obs.NoSpan, item, nil, true)
 			if err := send(Msg{Type: MsgResult, Result: &res}); err != nil {
 				errOnce.Do(func() { sendErr = err })

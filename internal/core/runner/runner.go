@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync/atomic"
+	"time"
 
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/harness"
@@ -190,10 +191,19 @@ func (r *Runner) runCanonical(test *harness.UnitTest, assign map[agent.Key]strin
 // PreRun executes every unit test once with no assignments, collecting the
 // §4 pre-run reports (node types started, parameter usage, uncertainty).
 func (r *Runner) PreRun(test *harness.UnitTest) testgen.PreRun {
+	pre, _ := r.PreRunTimed(test)
+	return pre
+}
+
+// PreRunTimed is PreRun plus the wall clock the execution consumed — the
+// scheduler's cold-profile duration signal: a test's pre-run time is the
+// per-execution cost its phase-2 instances will pay again and again.
+func (r *Runner) PreRunTimed(test *harness.UnitTest) (testgen.PreRun, time.Duration) {
+	start := time.Now()
 	r.executions.Add(1)
 	out := harness.RunOnceObserved(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(r.opts.BaseSeed, test.Name, "prerun", 0), r.opts.Obs)
 	r.opts.Obs.RecordExecution(r.app.Name, "prerun", out.Failed)
-	return testgen.PreRun{Test: test.Name, Report: out.Report}
+	return testgen.PreRun{Test: test.Name, Report: out.Report}, time.Since(start)
 }
 
 // RunAssignment applies Definition 3.1 to one assignment set as a trace

@@ -99,6 +99,31 @@ const (
 	// Labels: app.
 	MSteals = "zebraconf_dist_steals_total"
 
+	// Adaptive scheduler catalog (internal/core/sched).
+
+	// MSchedReordered counts work items dispatched out of arrival order
+	// by the scheduler (batch LPT reorders plus queue-level overtakes).
+	// Labels: app.
+	MSchedReordered = "zebraconf_sched_reordered_items_total"
+	// MSpeculativeRuns counts straggler items speculatively re-issued to
+	// an idle worker. Labels: app.
+	MSpeculativeRuns = "zebraconf_sched_speculative_runs_total"
+	// MSpeculationWins counts speculative copies that finished before
+	// the original attempt (first-result-wins). Labels: app.
+	MSpeculationWins = "zebraconf_sched_speculation_wins_total"
+	// MSchedQueueWait is the per-task queue-wait histogram: how long a
+	// ready task sat in the scheduler's queue before dispatch. Labels:
+	// app, stage (stream = in-process pipeline, dist = coordinator queue).
+	MSchedQueueWait = "zebraconf_sched_queue_wait_seconds"
+	// MSchedPredRatio is the predicted-vs-actual accuracy histogram:
+	// actual item seconds divided by the scheduler's prediction (1.0 =
+	// perfect). Labels: app.
+	MSchedPredRatio = "zebraconf_sched_predicted_vs_actual_ratio"
+	// MItemRunSeconds is the per-item run-time histogram on the
+	// in-process pool (the companion of MSemWaitSeconds: wait vs run
+	// makes tail latency attributable). Labels: app, stage.
+	MItemRunSeconds = "zebraconf_item_run_seconds"
+
 	// Execution memoization catalog (internal/core/memo).
 
 	// MCacheHits counts executions reused from the cache. Labels: app,
@@ -127,6 +152,9 @@ var (
 	RoundBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 7, 8}
 	// DepthBuckets covers pool-split recursion depth (log2 of pool size).
 	DepthBuckets = []float64{0, 1, 2, 3, 4, 5, 6, 8, 10}
+	// RatioBuckets covers predicted-vs-actual duration ratios, centered
+	// on 1.0 (a perfect prediction) with room for 10x misses either way.
+	RatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 10}
 )
 
 // boundsFor maps a histogram family to its catalog bucket layout.
@@ -138,6 +166,8 @@ func boundsFor(name string) []float64 {
 		return RoundBuckets
 	case MPoolDepth:
 		return DepthBuckets
+	case MSchedPredRatio:
+		return RatioBuckets
 	default:
 		return LatencyBuckets
 	}
