@@ -14,7 +14,9 @@ import (
 
 func main() {
 	var (
-		in = flag.String("in", "campaign.json", "campaign JSON produced by zebraconf -json")
+		in      = flag.String("in", "campaign.json", "campaign JSON produced by zebraconf -json")
+		explain = flag.Bool("explain", false, "render the verdict-forensics triage report instead of the results tables")
+		param   = flag.String("param", "", "with -explain: report only this parameter")
 	)
 	flag.Parse()
 
@@ -31,6 +33,18 @@ func main() {
 		os.Exit(1)
 	}
 	report.SortResults(results)
+
+	if *explain {
+		// Same renderer as `zebraconf -mode explain`: the archived JSON
+		// carries the evidence records, so triage works offline too.
+		for _, res := range results {
+			if err := report.Explain(os.Stdout, res, *param); err != nil {
+				fmt.Fprintln(os.Stderr, "reportgen:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	fmt.Println("## Campaign results")
 	fmt.Println()

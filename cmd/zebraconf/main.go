@@ -28,6 +28,7 @@ import (
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run | suggest-deps")
+		mode       = flag.String("mode", "run", "stats | run | explain | suggest-deps")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
@@ -53,6 +54,10 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write Prometheus text metrics to this file at exit")
 		progress   = flag.Bool("progress", false, "render live campaign progress to stderr")
 		httpAddr   = flag.String("http", "", "serve /metrics, expvar, and pprof on this address (e.g. :6060)")
+
+		// Verdict forensics (internal/core/forensics).
+		evidenceMax = flag.Int64("evidence-max", forensics.DefaultBudget, "campaign-wide evidence byte budget (per worker with -workers): records degrade to verdict-only past it; 0 disables forensic capture, negative is unlimited")
+		onlyParam   = flag.String("param", "", "with -mode explain: report only this parameter (error if it was not reported)")
 
 		// Adaptive scheduling (internal/core/sched).
 		schedFlag   = flag.String("sched", "lpt", "phase-2 dispatch order: lpt (longest-predicted first) | fifo (ablation)")
@@ -179,7 +184,12 @@ func main() {
 		report.Table2(os.Stdout, selected)
 		fmt.Println()
 		report.Table4(os.Stdout, selected)
-	case "run":
+	case "run", "explain":
+		// explain shares run's entire execution path — same campaign, same
+		// flags — and swaps the rendered report for the per-parameter
+		// forensics triage (evidence records attach to verdicts either way;
+		// explain just reads them back out).
+		explain := *mode == "explain"
 		policy, err := sched.ParsePolicy(*schedFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -213,6 +223,7 @@ func main() {
 			Stream:              *stream,
 			Profile:             profile,
 			QuarantineThreshold: quarThreshold,
+			EvidenceMax:         *evidenceMax,
 			Obs:                 observer,
 		}
 		if *threadOnly {
@@ -237,8 +248,10 @@ func main() {
 		anyTestResolved := len(requestedTests) == 0
 		var results []*campaign.Result
 		for _, app := range selected {
-			fmt.Printf("=== campaign: %s (%d tests, %d parameters) ===\n",
-				app.Name, len(app.Tests), app.Schema().Len())
+			if !explain {
+				fmt.Printf("=== campaign: %s (%d tests, %d parameters) ===\n",
+					app.Name, len(app.Tests), app.Schema().Len())
+			}
 			if len(requestedTests) > 0 {
 				var unknown []string
 				for _, name := range requestedTests {
@@ -256,6 +269,10 @@ func main() {
 			appOpts := opts
 			if *workers > 0 {
 				cfg := dist.ConfigFrom(opts)
+				// With the coordinator tracing, workers trace each item
+				// too; the coordinator stitches their fragments under its
+				// own item spans so the file renders as one tree.
+				cfg.TraceItems = *traceOut != ""
 				cfg.Parallel = *workerParallel
 				if cfg.Parallel <= 0 {
 					// Split the in-process concurrency budget across the
@@ -287,8 +304,15 @@ func main() {
 				appOpts.Distributor = &distAdapter{coord: coord}
 			}
 			res := campaign.Run(app, appOpts)
-			report.Full(os.Stdout, res)
-			fmt.Println()
+			if explain {
+				if err := report.Explain(os.Stdout, res, *onlyParam); err != nil {
+					fmt.Fprintln(os.Stderr, "zebraconf:", err)
+					exitCode = 2
+				}
+			} else {
+				report.Full(os.Stdout, res)
+				fmt.Println()
+			}
 			results = append(results, res)
 		}
 		if *profilePath != "" {
@@ -301,7 +325,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "zebraconf: error: none of the requested -tests exist in any selected application")
 			exitCode = 2
 		}
-		if len(results) > 1 {
+		if len(results) > 1 && !explain {
 			s := report.Summarize(results)
 			uniq, trueOnes := report.UniqueParams(results)
 			fmt.Printf("=== overall: %d reports across apps (%d distinct parameters, %d true) — paper reports 57 -> 41 ===\n",

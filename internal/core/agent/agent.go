@@ -22,6 +22,9 @@
 package agent
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 
 	"zebraconf/internal/confkit"
@@ -65,6 +68,50 @@ type Options struct {
 	// Assign maps keys to overridden values. Nil means a pre-run: nothing
 	// is overridden, only bookkeeping is collected.
 	Assign map[Key]string
+	// TraceReads, when positive, records the first TraceReads intercepted
+	// configuration reads in order — the forensics read trace. Zero (the
+	// default) disables recording; reads beyond the cap are counted, not
+	// stored, so chatty tests bound their own evidence.
+	TraceReads int
+}
+
+// ReadEvent is one intercepted configuration read, in program order: the
+// entity the read was attributed to, the parameter, the value the reader
+// actually observed (after any heterogeneous override), and the
+// application call site. This is the forensics trail that turns "the
+// heterogeneous arm failed" into "this node read this value right here".
+type ReadEvent struct {
+	// Entity is the owning node type, UnitTestEntity, or "uncertain" when
+	// no mapping rule placed the configuration object.
+	Entity string `json:"entity"`
+	Index  int    `json:"index,omitempty"`
+	Param  string `json:"param"`
+	// Value is what the reader observed; empty with Found false means the
+	// parameter was unset.
+	Value string `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	// Overridden marks values substituted from the heterogeneous
+	// assignment rather than read from the stored configuration.
+	Overridden bool `json:"overridden,omitempty"`
+	// Callsite is the first application stack frame (file:line) outside
+	// the interception machinery.
+	Callsite string `json:"callsite,omitempty"`
+}
+
+// String renders the event the way reports print it.
+func (e ReadEvent) String() string {
+	v := fmt.Sprintf("%q", e.Value)
+	if !e.Found {
+		v = "<unset>"
+	}
+	s := fmt.Sprintf("%s[%d] read %s = %s", e.Entity, e.Index, e.Param, v)
+	if e.Overridden {
+		s += " (assigned)"
+	}
+	if e.Callsite != "" {
+		s += " at " + e.Callsite
+	}
+	return s
 }
 
 type ownerKind int
@@ -113,6 +160,10 @@ type Agent struct {
 	confUsed     bool
 	shared       bool
 	refAnomalies int
+
+	traceReads   int // cap; 0 disables the read trace
+	readLog      []ReadEvent
+	readsDropped int
 }
 
 // New returns a fresh agent. Install it on the unit test's runtime with
@@ -121,6 +172,7 @@ func New(opts Options) *Agent {
 	return &Agent{
 		strategy:    opts.Strategy,
 		assign:      opts.Assign,
+		traceReads:  opts.TraceReads,
 		threadCtx:   make(map[uint64][]uint64),
 		nodes:       make(map[uint64]*nodeInfo),
 		typeCounts:  make(map[string]int),
@@ -282,6 +334,12 @@ func (a *Agent) RefToClone(orig *confkit.Conf) *confkit.Conf {
 // assigned a value to <owner entity, parameter>, overrides the result.
 func (a *Agent) InterceptGet(c *confkit.Conf, name, stored string, found bool) (string, bool) {
 	g := gid.ID()
+	// Callsite capture walks the stack only when the read trace is on;
+	// the default path pays nothing.
+	var callsite string
+	if a.traceReads > 0 {
+		callsite = appCallsite()
+	}
 	a.mu.Lock()
 	a.confUsed = true
 	reads := a.readsByConf[c.ID()]
@@ -321,15 +379,72 @@ func (a *Agent) InterceptGet(c *confkit.Conf, name, stored string, found bool) (
 			haveKey = true
 		}
 	}
-	assign := a.assign
-	a.mu.Unlock()
-
-	if haveKey && assign != nil {
-		if v, ok := assign[key]; ok {
-			return v, true
+	// Resolve the override while still holding the lock (assign is
+	// immutable after construction) so the read-trace event records the
+	// value the reader actually observed, in program order.
+	value, ok, overridden := stored, found, false
+	if haveKey && a.assign != nil {
+		if v, has := a.assign[key]; has {
+			value, ok, overridden = v, true, true
 		}
 	}
-	return stored, found
+	if a.traceReads > 0 {
+		if len(a.readLog) < a.traceReads {
+			ev := ReadEvent{
+				Entity: "uncertain", Param: name,
+				Value: value, Found: ok, Overridden: overridden,
+				Callsite: callsite,
+			}
+			if haveKey {
+				ev.Entity, ev.Index = key.NodeType, key.NodeIndex
+			}
+			a.readLog = append(a.readLog, ev)
+		} else {
+			a.readsDropped++
+		}
+	}
+	a.mu.Unlock()
+	return value, ok
+}
+
+// ReadTrace returns the recorded read events (in interception order) and
+// how many more were dropped once the cap filled. Empty unless
+// Options.TraceReads was positive.
+func (a *Agent) ReadTrace() ([]ReadEvent, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ReadEvent, len(a.readLog))
+	copy(out, a.readLog)
+	return out, a.readsDropped
+}
+
+// appCallsite reports the first stack frame outside the configuration
+// interception machinery (confkit getters and this package), as
+// file:line with the file trimmed to its last two path segments.
+func appCallsite() string {
+	var pcs [12]uintptr
+	// Skip runtime.Callers, appCallsite, and InterceptGet itself.
+	n := runtime.Callers(3, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function == "" {
+			break
+		}
+		if !strings.Contains(f.Function, "/confkit.") && !strings.Contains(f.Function, "/agent.") {
+			file := f.File
+			if i := strings.LastIndex(file, "/"); i >= 0 {
+				if j := strings.LastIndex(file[:i], "/"); j >= 0 {
+					file = file[j+1:]
+				}
+			}
+			return fmt.Sprintf("%s:%d", file, f.Line)
+		}
+		if !more {
+			break
+		}
+	}
+	return ""
 }
 
 // InterceptSet propagates a node's write back to the parent object the node

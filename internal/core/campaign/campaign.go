@@ -12,6 +12,7 @@ import (
 
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
@@ -79,6 +80,13 @@ type Options struct {
 	// per-item durations. A cold (or absent) profile falls back to
 	// pre-run durations measured this campaign.
 	Profile *sched.Profile
+	// EvidenceMax is the campaign-wide evidence byte budget: positive
+	// enables per-instance forensic capture (heterogeneous log + read
+	// trace, arm identities, repro command) degrading to verdict-only
+	// records past the budget; negative captures without bound; zero
+	// (the default) disables evidence entirely. In distributed mode the
+	// budget applies per worker process.
+	EvidenceMax int64
 	// Distributor, when non-nil, executes phase 2's work items instead
 	// of the in-process worker pool — the dist coordinator plugs in
 	// here, sharding items across worker subprocesses. Begin announces
@@ -110,6 +118,9 @@ type ParamReport struct {
 	Tests []string
 	// MinP is the smallest confirming p-value observed.
 	MinP float64
+	// Evidence is the forensic record of the first confirming instance
+	// (by item order), nil unless the campaign ran with EvidenceMax set.
+	Evidence *forensics.Evidence `json:",omitempty"`
 }
 
 // Result aggregates one campaign.
@@ -175,9 +186,10 @@ func (r *Result) SharingRate() float64 {
 
 // paramStats accumulates evidence for one parameter during the run.
 type paramStats struct {
-	tests   map[string]bool
-	minP    float64
-	example string
+	tests    map[string]bool
+	minP     float64
+	example  string
+	evidence *forensics.Evidence
 }
 
 // DefaultParallelism is the default concurrent unit-test budget: the
@@ -225,6 +237,7 @@ func Run(app *harness.App, opts Options) *Result {
 		BaseSeed:     opts.Seed,
 		Obs:          opts.Obs,
 		Cache:        cache,
+		Evidence:     forensics.NewRecorder(app.Name, opts.EvidenceMax, opts.Obs),
 	})
 
 	tests, unknown := selectTests(app, opts.Tests)

@@ -1,0 +1,120 @@
+package campaign_test
+
+import (
+	"testing"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/apps/minihdfs"
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/forensics"
+)
+
+// TestEvidenceReproRoundTrip is the acceptance check for the forensic
+// repro command: for a true positive and a false positive alike, parsing
+// the reported Evidence.Repro and re-running exactly that campaign slice
+// must reproduce the verdict — same parameter reported, same ground-truth
+// scoring. This is the automation of the paper's §7.1 manual triage: a
+// report you cannot reproduce is a report you cannot diagnose.
+func TestEvidenceReproRoundTrip(t *testing.T) {
+	t.Parallel()
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := campaign.Run(app, campaign.Options{
+		Params:      []string{minihdfs.ParamChecksumType, minihdfs.ParamScanPeriod},
+		Tests:       []string{"TestWriteRead", "TestScanPeriodInternals"},
+		Seed:        7,
+		EvidenceMax: -1,
+	})
+	if len(res.Reported) < 2 {
+		t.Fatalf("expected both the checksum TP and the scan-period FP, got %+v", res.Reported)
+	}
+
+	var sawTP, sawFP bool
+	for _, r := range res.Reported {
+		if r.Evidence == nil {
+			t.Fatalf("%s reported without evidence", r.Param)
+		}
+		rp, err := forensics.ParseRepro(r.Evidence.Repro)
+		if err != nil {
+			t.Fatalf("%s repro %q: %v", r.Param, r.Evidence.Repro, err)
+		}
+		if rp.App != app.Name || rp.Params != r.Param {
+			t.Fatalf("%s repro points elsewhere: %+v", r.Param, rp)
+		}
+
+		app2, err := apps.ByName(rp.App)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rerun := campaign.Run(app2, campaign.Options{
+			Params: []string{rp.Params},
+			Tests:  []string{rp.Tests},
+			Seed:   rp.Seed,
+		})
+		var again *campaign.ParamReport
+		for i := range rerun.Reported {
+			if rerun.Reported[i].Param == r.Param {
+				again = &rerun.Reported[i]
+			}
+		}
+		if again == nil {
+			t.Fatalf("repro %q did not reproduce the %s report (got %+v)",
+				r.Evidence.Repro, r.Param, rerun.Reported)
+		}
+		if again.Truth != r.Truth {
+			t.Fatalf("%s: repro scored %v, campaign scored %v", r.Param, again.Truth, r.Truth)
+		}
+		if r.Truth == confkit.SafetyUnsafe {
+			sawTP = true
+		} else {
+			sawFP = true
+		}
+	}
+	if !sawTP || !sawFP {
+		t.Fatalf("round-trip must cover a true positive and a false positive (TP=%v FP=%v)", sawTP, sawFP)
+	}
+}
+
+// TestEvidenceOffLeavesReportsBare checks the -evidence-max 0 degradation:
+// identical verdicts, no evidence records attached.
+func TestEvidenceOffLeavesReportsBare(t *testing.T) {
+	t.Parallel()
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := campaign.Options{
+		Params: []string{minihdfs.ParamChecksumType},
+		Tests:  []string{"TestWriteRead"},
+		Seed:   7,
+	}
+	bare := campaign.Run(app, opts)
+
+	app2, _ := apps.ByName("minihdfs")
+	opts.EvidenceMax = -1
+	rich := campaign.Run(app2, opts)
+
+	if len(bare.Reported) != 1 || len(rich.Reported) != 1 {
+		t.Fatalf("reports: bare=%+v rich=%+v", bare.Reported, rich.Reported)
+	}
+	if bare.Reported[0].Evidence != nil {
+		t.Fatal("evidence-off campaign attached an evidence record")
+	}
+	ev := rich.Reported[0].Evidence
+	if ev == nil {
+		t.Fatal("evidence-on campaign attached no evidence record")
+	}
+	if bare.Reported[0].Param != rich.Reported[0].Param || bare.Reported[0].MinP != rich.Reported[0].MinP {
+		t.Fatalf("capture changed the verdict: bare=%+v rich=%+v", bare.Reported[0], rich.Reported[0])
+	}
+	// The record itself must carry the full §7.1 triage kit.
+	if ev.Repro == "" || len(ev.Assign) == 0 || len(ev.Arms) == 0 || len(ev.Reads) == 0 {
+		t.Fatalf("evidence record incomplete: %+v", ev)
+	}
+	if ev.FirstDivergent < 0 {
+		t.Fatal("checksum-type conviction recorded no divergent read")
+	}
+}

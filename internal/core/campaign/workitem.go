@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/testgen"
@@ -46,6 +47,12 @@ type InstanceVerdict struct {
 	PValue           float64 `json:"p_value"`
 	Rounds           int     `json:"rounds,omitempty"`
 	HeteroMsg        string  `json:"hetero_msg,omitempty"`
+	// Evidence is the instance's forensic record (nil with evidence
+	// off). Riding inside the verdict, it serializes over the dist
+	// protocol and into checkpoint journals with no extra machinery, and
+	// the coordinator's first-result-wins duplicate discard applies to
+	// it automatically — exactly one record survives per accounted item.
+	Evidence *forensics.Evidence `json:"evidence,omitempty"`
 }
 
 // ItemResult is the serializable outcome of executing one WorkItem. The
@@ -82,6 +89,12 @@ type ItemResult struct {
 	// where items execute serially; the in-process path measures the
 	// campaign-wide delta instead).
 	LeakedGoroutines int64 `json:"leaked_goroutines,omitempty"`
+	// Spans carries the worker-local trace fragment for this item
+	// (populated only by worker subprocesses running with item tracing
+	// on). Span and parent IDs are local to the fragment, parent 0
+	// meaning the item root; the coordinator re-identifies them under
+	// its own item span so a -workers campaign renders as one tree.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // ExecuteItem runs every instance of one work item: generation, pooled
@@ -152,6 +165,13 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 		r := run.RunAssignmentIn(parent, test, asn, inst.String())
 		out.Executions += r.Executions
 		out.ExecutionsSaved += r.Saved
+		if r.Evidence != nil {
+			// The runner knows the execution; only this layer knows the
+			// instance identity and the campaign flags a repro needs.
+			r.Evidence.Instance = inst.String()
+			r.Evidence.Param = inst.Param
+			r.Evidence.Repro = forensics.ReproCommand(app.Name, item.Test, inst.Param, opts.Seed)
+		}
 		out.Verdicts = append(out.Verdicts, InstanceVerdict{
 			Instance:         inst.String(),
 			Param:            inst.Param,
@@ -160,6 +180,7 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 			PValue:           r.PValue,
 			Rounds:           r.Rounds,
 			HeteroMsg:        r.HeteroMsg,
+			Evidence:         r.Evidence,
 		})
 		if r.Verdict == runner.VerdictUnsafe {
 			confirmedHere[inst.Param] = true
@@ -280,6 +301,12 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 				if ps.example == "" {
 					ps.example = v.HeteroMsg
 				}
+				if ps.evidence == nil && v.Evidence != nil {
+					// First confirming instance in item-ID order: items
+					// fold deterministically, so the chosen record is
+					// identical across execution paths and resumes.
+					ps.evidence = v.Evidence
+				}
 			}
 		}
 	}
@@ -288,7 +315,7 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 
 	for param, ps := range perParam {
 		p := schema.Lookup(param)
-		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example}
+		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example, Evidence: ps.evidence}
 		if p != nil {
 			report.Truth = p.Truth
 			report.Why = p.Why

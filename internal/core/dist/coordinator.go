@@ -428,6 +428,11 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 		item  campaign.WorkItem
 		start time.Time
 		spec  bool
+		// span is the coordinator-side "item" span for this attempt; the
+		// worker's trace fragment is stitched under it on acceptance.
+		// Every teardown path must End it, or its stitched children would
+		// reference a span the trace file never defines.
+		span *obs.Span
 	}
 	inflight := make(map[int]entry)
 	ready := false
@@ -443,6 +448,8 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 		o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", reason)
 		wspan.SetAttr(obs.String("end", reason), obs.Int("items", int64(itemsDone)))
 		for id, e := range inflight {
+			e.span.SetAttr(obs.String("end", reason))
+			e.span.End()
 			if e.spec {
 				r.clearSpec(id)
 				continue
@@ -498,13 +505,24 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				if !spec {
 					r.trackFlight(slot, item)
 				}
-				inflight[item.ID] = entry{item: item, start: time.Now(), spec: spec}
+				ispan := o.StartSpan("item", wspan.ID(),
+					obs.String("app", app),
+					obs.String("test", item.Test),
+					obs.Int("item", int64(item.ID)))
+				if spec {
+					ispan.SetAttr(obs.Bool("spec", true))
+				}
+				inflight[item.ID] = entry{item: item, start: time.Now(), spec: spec, span: ispan}
 			}
 		}
 		if r.stopped() {
 			// Complete, halted, or failed elsewhere. All results are
 			// either in or abandoned with the run; drop the worker.
 			sess.bye(len(inflight) == 0)
+			for _, e := range inflight {
+				e.span.SetAttr(obs.String("end", "abandoned"))
+				e.span.End()
+			}
 			wspan.SetAttr(obs.String("end", "done"), obs.Int("items", int64(itemsDone)))
 			return sessDone
 		}
@@ -538,7 +556,16 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				}
 				delete(inflight, m.Result.ID)
 				itemsDone++
-				r.recordResult(slot, *m.Result, time.Since(e.start), e.spec)
+				if r.recordResult(slot, *m.Result, time.Since(e.start), e.spec) {
+					r.stitchSpans(e.span, e.start, m.Result.Spans)
+				} else {
+					// The losing copy of a speculated (or timeout-retried)
+					// item: its result — evidence, spans, and all — was
+					// discarded before accounting; mark the attempt so the
+					// trace shows where the duplicate work went.
+					e.span.SetAttr(obs.Bool("duplicate", true))
+				}
+				e.span.End()
 			case MsgCacheGet:
 				if m.CacheKey == nil {
 					break
@@ -579,12 +606,16 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				// primaries are still running elsewhere).
 				sess.kill()
 				delete(inflight, id)
+				e.span.SetAttr(obs.String("end", "timeout"))
+				e.span.End()
 				if e.spec {
 					r.clearSpec(id)
 				} else {
 					r.retryOrGiveUp(slot, e.item, "timeout")
 				}
 				for oid, other := range inflight {
+					other.span.SetAttr(obs.String("end", "requeued"))
+					other.span.End()
 					if other.spec {
 						r.clearSpec(oid)
 						continue
@@ -726,12 +757,42 @@ func (r *Run) cachePut(k memo.Key, res memo.Result) {
 	r.cacheMu.Unlock()
 }
 
+// stitchSpans folds a worker's trace fragment under the coordinator's
+// item span, so a -workers campaign's trace renders as one tree. Every
+// fragment span is re-identified (worker IDs are fragment-local and
+// would collide with the coordinator's), fragment roots — and references
+// to spans the fragment never closed — are re-parented onto the item
+// span, and start times are rebased from the worker tracer's epoch to
+// the dispatch instant on the coordinator's clock.
+func (r *Run) stitchSpans(item *obs.Span, dispatched time.Time, frag []obs.SpanRecord) {
+	if item == nil || len(frag) == 0 || r.o == nil || r.o.Tracer == nil {
+		return
+	}
+	tr := r.o.Tracer
+	ids := make(map[obs.SpanID]obs.SpanID, len(frag))
+	for _, rec := range frag {
+		ids[rec.Span] = tr.AllocID()
+	}
+	base := tr.SinceEpochUS(dispatched)
+	for _, rec := range frag {
+		rec.Span = ids[rec.Span]
+		if p, ok := ids[rec.Parent]; ok {
+			rec.Parent = p
+		} else {
+			rec.Parent = item.ID()
+		}
+		rec.StartUS += base
+		tr.Emit(rec)
+	}
+}
+
 // recordResult journals and accounts one completed item, replaying its
-// observable campaign signals (progress, verdict counters) that the
-// worker process could not record itself. First result wins: a duplicate
-// — the losing copy of a speculated item, or a timeout-retry race — is
-// discarded here, before any accounting.
-func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Duration, spec bool) {
+// observable campaign signals (progress, verdict counters, evidence
+// tallies) that the worker process could not record itself. First result
+// wins: a duplicate — the losing copy of a speculated item, or a
+// timeout-retry race — is discarded here, before any accounting, and
+// reported false so the caller skips trace stitching too.
+func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Duration, spec bool) bool {
 	r.mu.Lock()
 	_, dup := r.results[res.ID]
 	var pred float64
@@ -755,7 +816,7 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	if dup {
 		// Execution is canonically seeded, so the copies agree; nothing
 		// to record.
-		return
+		return false
 	}
 	o, app := r.o, r.opts.App
 	if spec {
@@ -782,6 +843,15 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	o.GaugeAdd(obs.MInstancesDone, int64(res.Instances), "app", app)
 	for _, v := range res.Verdicts {
 		o.RecordVerdict(app, v.Verdict, v.FirstTrialSignal)
+		if v.Evidence != nil {
+			// Worker metrics registries are not merged, so evidence
+			// accounting is replayed here from the records themselves
+			// (per-execution log/read truncations stay worker-local).
+			o.CounterAdd(obs.MEvidenceRecords, 1, "app", app)
+			if v.Evidence.VerdictOnly {
+				o.CounterAdd(obs.MEvidenceTruncated, 1, "app", app, "reason", "budget")
+			}
+		}
 	}
 	if res.LeakedGoroutines > 0 {
 		o.CounterAdd(obs.MAbandonedGoroutines, res.LeakedGoroutines, "app", app, "test", res.Test)
@@ -792,6 +862,7 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	}
 	r.noteConfirmations(res, true)
 	r.maybeFinish()
+	return true
 }
 
 // noteConfirmations applies §4's frequent-failer rule to one item

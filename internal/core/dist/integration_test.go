@@ -18,6 +18,7 @@ import (
 	"zebraconf/internal/apps"
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/obs"
 )
@@ -90,7 +91,11 @@ func workerFactory(env ...string) func() *exec.Cmd {
 
 // subsetOptions is a small deterministic minihdfs slice: one test with
 // real instances (TestWriteRead x checksum parameters) plus two tests
-// that pre-run to zero instances, giving three work items.
+// that pre-run to zero instances, giving three work items. Evidence
+// capture stays off here: the read trace records concurrent node
+// goroutines in interception order, which is scheduler-dependent, so
+// byte-identity assertions cannot include it (evidence equivalence has
+// its own test comparing the deterministic fields).
 func subsetOptions(seed int64, o *obs.Observer) campaign.Options {
 	return campaign.Options{
 		Params: []string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
@@ -142,7 +147,11 @@ func (d *testDistributor) Drain() []campaign.ItemResult {
 func runDistributed(t *testing.T, app *harness.App, opts campaign.Options, dopts dist.Options) *campaign.Result {
 	t.Helper()
 	dopts.App = app.Name
-	dopts.Config = dist.ConfigFrom(opts)
+	cfg := dist.ConfigFrom(opts)
+	// TraceItems is a dist-layer concern ConfigFrom cannot derive from
+	// campaign options; keep whatever the test asked for.
+	cfg.TraceItems = dopts.Config.TraceItems
+	dopts.Config = cfg
 	dopts.Obs = opts.Obs
 	d := &testDistributor{coord: dist.New(dopts)}
 	opts.Distributor = d
@@ -270,6 +279,171 @@ func TestWorkerKillThenResumeByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(refJSON, resJSON) {
 		t.Fatalf("merged results diverge after kill+resume:\n ref    %s\n resume %s", refJSON, resJSON)
+	}
+}
+
+// TestDistributedEvidenceMatchesLocal checks evidence equivalence across
+// execution paths on the deterministic fields: identity, repro, seeds,
+// arm digests, trial counts, and failure message must agree between the
+// in-process pool and worker subprocesses. The read trace is excluded —
+// it records concurrent node goroutines in interception order, which is
+// real-scheduler-dependent even on one machine.
+func TestDistributedEvidenceMatchesLocal(t *testing.T) {
+	t.Parallel()
+	withEvidence := func() campaign.Options {
+		opts := subsetOptions(11, nil)
+		opts.EvidenceMax = -1
+		return opts
+	}
+	app := minihdfs(t)
+	local := campaign.Run(app, withEvidence())
+	distRes := runDistributed(t, app, withEvidence(), dist.Options{
+		Workers:   2,
+		WorkerCmd: workerFactory(),
+	})
+
+	deterministic := func(res *campaign.Result) []forensics.Evidence {
+		out := make([]forensics.Evidence, 0, len(res.Reported))
+		for _, r := range res.Reported {
+			if r.Evidence == nil {
+				t.Fatalf("%s reported without evidence", r.Param)
+			}
+			ev := *r.Evidence
+			ev.Reads, ev.ReadsDropped, ev.FirstDivergent = nil, 0, 0
+			out = append(out, ev)
+		}
+		return out
+	}
+	lev, dev := deterministic(local), deterministic(distRes)
+	if len(lev) == 0 {
+		t.Fatal("no evidence to compare; the equivalence check is vacuous")
+	}
+	if !reflect.DeepEqual(lev, dev) {
+		t.Fatalf("deterministic evidence fields diverge:\n dist  %+v\n local %+v", dev, lev)
+	}
+	// The excluded part must still be present and divergent on both paths.
+	for _, res := range []*campaign.Result{local, distRes} {
+		for _, r := range res.Reported {
+			if len(r.Evidence.Reads) == 0 || r.Evidence.FirstDivergent < 0 {
+				t.Fatalf("%s evidence has no divergent read trace: %+v", r.Param, r.Evidence)
+			}
+		}
+	}
+}
+
+// TestKillResumeSingleEvidencePerItem is the forensic side of the
+// crash-resume contract: after a SIGKILL mid-campaign and a resume into
+// a fresh checkpoint, the new journal must hold exactly one completed
+// record per item — replayed or re-executed, never both — and every
+// verdict in it must still carry its evidence record.
+func TestKillResumeSingleEvidencePerItem(t *testing.T) {
+	t.Parallel()
+	app := minihdfs(t)
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.jsonl")
+	ck2 := filepath.Join(dir, "ck2.jsonl")
+	const seed = 23
+
+	noCache := func() campaign.Options {
+		opts := subsetOptions(seed, nil)
+		opts.DisableExecCache = true // keep the stdout-line kill point stable
+		opts.EvidenceMax = -1
+		return opts
+	}
+
+	// Interrupted run: killed after the first result, halted after two.
+	runDistributed(t, app, noCache(), dist.Options{
+		Workers:        1,
+		WorkerCmd:      workerFactory("ZEBRACONF_DIST_KILL_AFTER=2"),
+		CheckpointPath: ck,
+		MaxItems:       2,
+	})
+
+	// Resume into a different journal: openCheckpoint re-journals the
+	// replayed items, so ck2 is the self-contained record of the campaign.
+	runDistributed(t, app, noCache(), dist.Options{
+		Workers:        1,
+		WorkerCmd:      workerFactory(),
+		ResumePath:     ck,
+		CheckpointPath: ck2,
+	})
+
+	recs, err := dist.ReadJournal(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(map[int]int)
+	verdicts, withEvidence := 0, 0
+	for _, rec := range recs {
+		if rec.Kind != dist.KindDone || rec.Result == nil {
+			continue
+		}
+		done[rec.Result.ID]++
+		for _, v := range rec.Result.Verdicts {
+			verdicts++
+			if v.Evidence != nil {
+				withEvidence++
+			}
+		}
+	}
+	for id := 0; id < 3; id++ {
+		if done[id] != 1 {
+			t.Fatalf("item %d journaled %d times, want exactly once (journal: %v)", id, done[id], done)
+		}
+	}
+	if verdicts == 0 {
+		t.Fatal("no verdicts in the resumed journal; the evidence check is vacuous")
+	}
+	if withEvidence != verdicts {
+		t.Fatalf("evidence survived on %d of %d verdicts across the kill+resume", withEvidence, verdicts)
+	}
+}
+
+// TestWorkersTraceSingleTree pins cross-process trace stitching: a
+// distributed campaign with per-item worker tracing must render as ONE
+// span tree — a single root, and every other span's parent present in
+// the same trace. Before stitching, worker fragments arrived with
+// process-local span IDs and dangled as orphaned roots.
+func TestWorkersTraceSingleTree(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	o := &obs.Observer{Tracer: obs.NewTracer(&buf)}
+	app := minihdfs(t)
+	runDistributed(t, app, subsetOptions(11, o), dist.Options{
+		Workers:   2,
+		WorkerCmd: workerFactory(),
+		Config:    dist.Config{TraceItems: true},
+	})
+
+	spans, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[obs.SpanID]bool, len(spans))
+	for _, s := range spans {
+		ids[s.Span] = true
+	}
+	roots, orphans := 0, 0
+	byName := make(map[string]int)
+	for _, s := range spans {
+		byName[s.Name]++
+		if s.Parent == 0 {
+			roots++
+		} else if !ids[s.Parent] {
+			orphans++
+			t.Errorf("span %d (%s) references missing parent %d", s.Span, s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d roots, want exactly 1 (names: %v)", roots, byName)
+	}
+	if orphans != 0 {
+		t.Fatalf("%d orphaned spans after stitching", orphans)
+	}
+	// The worker-side fragments must actually be present: instance/round
+	// spans only happen inside worker processes on this path.
+	if byName["item"] == 0 || byName["instance"] == 0 {
+		t.Fatalf("stitched trace is missing worker-side spans: %v", byName)
 	}
 }
 

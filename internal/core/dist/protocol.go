@@ -101,9 +101,18 @@ type Config struct {
 	// coordinator also declines to serve lookups. Not reachable from the
 	// CLI — a testing and degraded-mode knob.
 	NoSharedCache bool `json:"no_shared_cache,omitempty"`
+	// EvidenceMax is the per-worker evidence byte budget (the campaign's
+	// -evidence-max applies to each worker process independently); zero
+	// disables forensic capture, negative is unlimited.
+	EvidenceMax int64 `json:"evidence_max,omitempty"`
 	// Parallel bounds concurrent work items per worker subprocess — the
 	// per-machine container count of the paper's fleet. Zero means 8.
 	Parallel int `json:"parallel,omitempty"`
+	// TraceItems asks workers to trace each item's execution into its
+	// ItemResult (a span fragment the coordinator stitches under its own
+	// item span). Set when the coordinator itself is tracing; not part
+	// of campaign.Options, so ConfigFrom leaves it false.
+	TraceItems bool `json:"trace_items,omitempty"`
 }
 
 // ConfigFrom extracts the wire configuration from campaign options.
@@ -119,6 +128,7 @@ func ConfigFrom(opts campaign.Options) Config {
 		MaxRounds:         opts.MaxRounds,
 		Seed:              opts.Seed,
 		DisableExecCache:  opts.DisableExecCache,
+		EvidenceMax:       opts.EvidenceMax,
 	}
 }
 
@@ -137,5 +147,6 @@ func (c Config) CampaignOptions() campaign.Options {
 		MaxRounds:         c.MaxRounds,
 		Seed:              c.Seed,
 		DisableExecCache:  c.DisableExecCache,
+		EvidenceMax:       c.EvidenceMax,
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"zebraconf/internal/apps"
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
 	"zebraconf/internal/obs"
@@ -57,7 +58,10 @@ func runFakeWorker() {
 			if i := strings.LastIndex(item.Test, "#"); i >= 0 && dir != "" {
 				ms, _ := strconv.Atoi(item.Test[i+1:])
 				claim := filepath.Join(dir, fmt.Sprintf("claim%d", item.ID))
-				if f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL, 0o644); err == nil {
+				if f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); err == nil {
+					// Record which process straggled, so tests can tell the
+					// losing primary's evidence from the winner's.
+					fmt.Fprintf(f, "pid %d", os.Getpid())
 					f.Close()
 					time.Sleep(time.Duration(ms) * time.Millisecond)
 				}
@@ -68,6 +72,12 @@ func runFakeWorker() {
 					Instance: "fake-" + strconv.Itoa(item.ID),
 					Param:    "demo.param",
 					Verdict:  runner.VerdictUnsafe.String(),
+					Evidence: &forensics.Evidence{
+						App: "fake", Test: item.Test, Param: "demo.param",
+						Instance: "fake-" + strconv.Itoa(item.ID),
+						Msg:      fmt.Sprintf("pid %d", os.Getpid()),
+						Failed:   true, FirstDivergent: -1,
+					},
 				}}
 			}
 			sort.Strings(hints)
@@ -129,6 +139,55 @@ func TestSpeculationReissuesStraggler(t *testing.T) {
 	// copy), but exactly four may be accounted.
 	if n := o.Metrics.CounterValue(obs.MWorkerItems, "app", "fake"); n != int64(len(items)) {
 		t.Fatalf("accounted items = %d, want %d", n, len(items))
+	}
+}
+
+// TestSpeculationDiscardsLoserEvidence pins the protocol-level evidence
+// dedup: the straggler's primary and its speculative copy BOTH answer
+// with evidence-bearing verdicts, so five such results cross the wire
+// for four items — and exactly four evidence records may be accounted.
+// The survivor for the speculated item must be the winner's record (the
+// instant speculative copy), not the sleeping primary's, whose pid is
+// recoverable from the straggle claim file.
+func TestSpeculationDiscardsLoserEvidence(t *testing.T) {
+	t.Parallel()
+	o := obs.New()
+	dir := t.TempDir()
+	items := []campaign.WorkItem{
+		{ID: 0, Test: "TestQStraggler#1800", PredSeconds: 0.01},
+		{ID: 1, Test: "TestQTail#2600", PredSeconds: 10},
+		{ID: 2, Test: "TestQFastA", PredSeconds: 0.01},
+		{ID: 3, Test: "TestQFastB", PredSeconds: 0.01},
+	}
+	coord := dist.New(dist.Options{
+		App:               "fake",
+		Workers:           3,
+		WorkerCmd:         workerFactory("ZEBRACONF_DIST_FAKE=1", "ZEBRACONF_DIST_FAKE_DIR="+dir),
+		Config:            dist.Config{Parallel: 1},
+		SpeculationFactor: 1.0,
+		ItemTimeout:       8 * time.Second,
+		Obs:               o,
+	})
+	res, err := coord.Execute(obs.NoSpan, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Metrics.CounterValue(obs.MSpeculationWins, "app", "fake"); n != 1 {
+		t.Fatalf("speculation wins = %d, want 1 (no duplicate ever crossed the wire)", n)
+	}
+	if n := o.Metrics.CounterValue(obs.MEvidenceRecords, "app", "fake"); n != int64(len(items)) {
+		t.Fatalf("evidence records = %d, want %d: the discarded duplicate's record leaked into accounting", n, len(items))
+	}
+	loser, err := os.ReadFile(filepath.Join(dir, "claim0"))
+	if err != nil {
+		t.Fatalf("the primary never straggled: %v", err)
+	}
+	ev := res[0].Verdicts[0].Evidence
+	if ev == nil {
+		t.Fatal("the speculated item lost its evidence record")
+	}
+	if ev.Msg == string(loser) {
+		t.Fatalf("accounted evidence %q is the discarded primary's, want the speculative winner's", ev.Msg)
 	}
 }
 

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"sync"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
@@ -101,14 +103,22 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 		}
 		cache = memo.NewCache(app.Name, backend, nil)
 	}
-	run := runner.New(app, runner.Options{
+	// Evidence budget: one recorder shared by every item of this session,
+	// so -evidence-max bounds the worker process as a whole (the campaign
+	// flag is per-worker in dist mode). The observer is nil — worker
+	// registries are not merged; the coordinator replays evidence counters
+	// from the records riding in each item result.
+	rec := forensics.NewRecorder(app.Name, cfg.EvidenceMax, nil)
+	rops := runner.Options{
 		Significance: opts.Significance,
 		MaxRounds:    opts.MaxRounds,
 		DisableGate:  opts.DisableGate,
 		Strategy:     opts.Strategy,
 		BaseSeed:     opts.Seed,
 		Cache:        cache,
-	})
+		Evidence:     rec,
+	}
+	run := runner.New(app, rops)
 	parallel := cfg.Parallel
 	if parallel <= 0 {
 		parallel = DefaultWorkerParallel
@@ -180,7 +190,27 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 				gen.Quarantine(p)
 			}
 			qmu.Unlock()
-			res := campaign.ExecuteItem(app, gen, run, opts, obs.NoSpan, item, nil, true)
+			// Item tracing: execute under a private tracer and ship the
+			// resulting span fragment home inside the item result. IDs are
+			// fragment-local (a fresh tracer per item), parents of roots
+			// are 0; the coordinator re-identifies both when stitching.
+			itemRun, itemOpts := run, opts
+			var traceBuf *bytes.Buffer
+			if cfg.TraceItems {
+				traceBuf = new(bytes.Buffer)
+				itemObs := &obs.Observer{Tracer: obs.NewTracer(traceBuf)}
+				tops := rops
+				tops.Obs = itemObs
+				itemRun = runner.New(app, tops)
+				itemOpts.Obs = itemObs
+			}
+			res := campaign.ExecuteItem(app, gen, itemRun, itemOpts, obs.NoSpan, item, nil, true)
+			if traceBuf != nil {
+				// Every span ends before ExecuteItem returns, so the
+				// fragment is complete; a parse error just drops it
+				// (tracing must never fail the campaign).
+				res.Spans, _ = obs.ReadTrace(traceBuf)
+			}
 			if err := send(Msg{Type: MsgResult, Result: &res}); err != nil {
 				errOnce.Do(func() { sendErr = err })
 			}

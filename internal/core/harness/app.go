@@ -104,7 +104,30 @@ type Outcome struct {
 	Report agent.Report
 	// Elapsed is the real execution time.
 	Elapsed time.Duration
+
+	// Forensics capture, populated only by RunOnceCaptured with a
+	// non-zero CaptureSpec. Logs is the (ring-capped) harness log;
+	// LogDroppedBytes/LogDroppedMsgs account ring evictions between
+	// Logs[0] and Logs[1]. Reads is the agent's ordered read trace;
+	// ReadsDropped counts reads beyond its cap.
+	Logs            []string          `json:"logs,omitempty"`
+	LogDroppedBytes int               `json:"log_dropped_bytes,omitempty"`
+	LogDroppedMsgs  int               `json:"log_dropped_msgs,omitempty"`
+	Reads           []agent.ReadEvent `json:"reads,omitempty"`
+	ReadsDropped    int               `json:"reads_dropped,omitempty"`
 }
+
+// CaptureSpec bounds what RunOnceCaptured records per execution. The
+// zero value disables capture entirely (RunOnceObserved behaviour).
+type CaptureSpec struct {
+	// LogBytes caps retained harness log bytes (the ring buffer).
+	LogBytes int
+	// ReadEvents caps recorded configuration-read events.
+	ReadEvents int
+}
+
+// enabled reports whether the spec asks for any capture at all.
+func (s CaptureSpec) enabled() bool { return s.LogBytes > 0 || s.ReadEvents > 0 }
 
 // RunOnce executes one unit test in a fresh environment with a fresh agent
 // configured by opts. seed differentiates trials of nondeterministic tests.
@@ -116,13 +139,25 @@ func RunOnce(app *App, test *UnitTest, opts agent.Options, seed int64) Outcome {
 // duration histogram, timeout counter, and progress execution tally are
 // recorded on o (nil disables instrumentation).
 func RunOnceObserved(app *App, test *UnitTest, opts agent.Options, seed int64, o *obs.Observer) Outcome {
+	return RunOnceCaptured(app, test, opts, seed, o, CaptureSpec{})
+}
+
+// RunOnceCaptured is RunOnceObserved plus bounded evidence capture: with
+// a non-zero spec the outcome carries the harness log (ring-capped at
+// spec.LogBytes) and the agent's ordered read trace (capped at
+// spec.ReadEvents). Capture changes nothing about the execution itself —
+// same seed, same assignment, same verdict.
+func RunOnceCaptured(app *App, test *UnitTest, opts agent.Options, seed int64, o *obs.Observer, spec CaptureSpec) Outcome {
 	env := NewEnv(app.Schema(), nil, seed)
 	defer env.Close()
 
+	if spec.ReadEvents > 0 {
+		opts.TraceReads = spec.ReadEvents
+	}
 	ag := agent.New(opts)
 	env.RT.SetHooks(ag)
 
-	t := &T{Env: env}
+	t := &T{Env: env, logCap: spec.LogBytes}
 	timeout := test.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTestTimeout
@@ -160,8 +195,16 @@ func RunOnceObserved(app *App, test *UnitTest, opts agent.Options, seed int64, o
 	}
 	out.Elapsed = time.Since(start)
 	out.Failed = t.Failed()
-	if logs := t.Logs(); out.Failed && len(logs) > 0 {
+	logs := t.Logs()
+	if out.Failed && len(logs) > 0 {
+		// The ring never evicts its head entry, so Msg is stable under
+		// capping: the same first message capture on or off.
 		out.Msg = logs[0]
+	}
+	if spec.enabled() {
+		out.Logs = logs
+		out.LogDroppedBytes, out.LogDroppedMsgs = t.LogDropped()
+		out.Reads, out.ReadsDropped = ag.ReadTrace()
 	}
 	// Stop nodes before reading the report so no new confs appear mid-read.
 	env.Close()

@@ -94,16 +94,43 @@ type T struct {
 	mu     sync.Mutex
 	failed bool
 	logs   []string
+	// logCap, when positive, bounds the total bytes retained in logs as a
+	// ring: the first entry is always kept (Outcome.Msg and the start of
+	// the story), then the oldest of the rest are evicted. droppedBytes
+	// and droppedMsgs account the evictions, so forensics can mark the
+	// truncation explicitly instead of silently losing history.
+	logCap       int
+	logBytes     int
+	droppedBytes int
+	droppedMsgs  int
 }
 
 // failNow is the panic sentinel FailNow/Fatalf abort the test with.
 type failNow struct{}
 
+// appendLog records one message under the lock, enforcing the ring cap.
+func (t *T) appendLog(msg string) {
+	t.logs = append(t.logs, msg)
+	if t.logCap <= 0 {
+		return
+	}
+	t.logBytes += len(msg)
+	// Evict from the second entry: the head anchors Msg and the log's
+	// beginning, the tail is what diagnosis wants. At least head+tail
+	// survive, so even one oversized message never empties the ring.
+	for t.logBytes > t.logCap && len(t.logs) > 2 {
+		t.logBytes -= len(t.logs[1])
+		t.droppedBytes += len(t.logs[1])
+		t.droppedMsgs++
+		t.logs = append(t.logs[:1], t.logs[2:]...)
+	}
+}
+
 // Errorf records a failure and continues, like testing.T.Errorf.
 func (t *T) Errorf(format string, args ...any) {
 	t.mu.Lock()
 	t.failed = true
-	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+	t.appendLog(fmt.Sprintf(format, args...))
 	t.mu.Unlock()
 }
 
@@ -124,7 +151,7 @@ func (t *T) FailNow() {
 // Logf records a message without failing.
 func (t *T) Logf(format string, args ...any) {
 	t.mu.Lock()
-	t.logs = append(t.logs, fmt.Sprintf(format, args...))
+	t.appendLog(fmt.Sprintf(format, args...))
 	t.mu.Unlock()
 }
 
@@ -142,6 +169,14 @@ func (t *T) Logs() []string {
 	out := make([]string, len(t.logs))
 	copy(out, t.logs)
 	return out
+}
+
+// LogDropped reports how many bytes (across how many messages) the
+// capped ring evicted; both zero when no cap was set or it never filled.
+func (t *T) LogDropped() (bytes, msgs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedBytes, t.droppedMsgs
 }
 
 // NoErr is a convenience assertion: it fails fatally when err is non-nil.

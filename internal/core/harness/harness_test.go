@@ -91,6 +91,122 @@ func TestTNoErr(t *testing.T) {
 	}
 }
 
+func TestLogRingEvictsTailNeverHead(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1), logCap: 40}
+	tt.Errorf("head message")
+	for i := 0; i < 10; i++ {
+		tt.Logf("tail-%02d--------", i) // 15 bytes each
+	}
+	logs := tt.Logs()
+	if logs[0] != "head message" {
+		t.Fatalf("head evicted: logs[0] = %q", logs[0])
+	}
+	bytes, msgs := tt.LogDropped()
+	if bytes == 0 || msgs == 0 {
+		t.Fatal("overflowing ring reported no drops")
+	}
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if total > 40+15 { // cap plus at most one in-flight message
+		t.Fatalf("ring retains %d bytes past the cap", total)
+	}
+	if logs[len(logs)-1] != "tail-09--------" {
+		t.Fatalf("newest message lost: %v", logs)
+	}
+}
+
+func TestLogRingOversizedMessageKeepsHeadAndTail(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1), logCap: 8}
+	tt.Errorf("head")
+	tt.Logf("one enormous message far past the cap")
+	tt.Logf("final")
+	logs := tt.Logs()
+	// Eviction stops at head+tail, so even oversized messages leave a story.
+	if len(logs) != 2 || logs[0] != "head" || logs[1] != "final" {
+		t.Fatalf("logs = %v, want [head final]", logs)
+	}
+	if _, msgs := tt.LogDropped(); msgs != 1 {
+		t.Fatalf("dropped msgs = %d, want 1", msgs)
+	}
+}
+
+func TestLogRingDisabledWithoutCap(t *testing.T) {
+	t.Parallel()
+	tt := &T{Env: NewEnv(emptySchema(), nil, 1)}
+	for i := 0; i < 100; i++ {
+		tt.Logf("message %03d with some padding", i)
+	}
+	if logs := tt.Logs(); len(logs) != 100 {
+		t.Fatalf("uncapped T dropped logs: %d retained", len(logs))
+	}
+	if bytes, msgs := tt.LogDropped(); bytes != 0 || msgs != 0 {
+		t.Fatalf("uncapped T reported drops: %d bytes, %d msgs", bytes, msgs)
+	}
+}
+
+func capturedApp() *App {
+	schema := func() *confkit.Registry {
+		return confkit.NewRegistry().Register(confkit.Param{
+			Name: "cap.param", Kind: confkit.String, Default: "dflt",
+		})
+	}
+	return &App{
+		Name:      "t-app",
+		Schema:    schema,
+		NodeTypes: []string{"N"},
+		Tests: []UnitTest{{
+			Name: "C",
+			Run: func(tt *T) {
+				conf := tt.Env.RT.NewConf()
+				for i := 0; i < 4; i++ {
+					tt.Logf("read %d -> %s", i, conf.Get("cap.param"))
+				}
+				tt.Fatalf("always fails")
+			},
+		}},
+	}
+}
+
+func TestRunOnceCapturedRecordsLogAndReads(t *testing.T) {
+	t.Parallel()
+	app := capturedApp()
+	opts := agent.Options{Assign: map[agent.Key]string{
+		{NodeType: agent.UnitTestEntity, NodeIndex: 0, Param: "cap.param"}: "hetero",
+	}}
+	spec := CaptureSpec{LogBytes: 1 << 10, ReadEvents: 2}
+	out := RunOnceCaptured(app, &app.Tests[0], opts, 1, nil, spec)
+	if !out.Failed || out.Msg != "read 0 -> hetero" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if len(out.Logs) != 5 || out.Logs[0] != out.Msg {
+		t.Fatalf("logs = %v", out.Logs)
+	}
+	if len(out.Reads) != 2 || out.ReadsDropped != 2 {
+		t.Fatalf("reads = %v (dropped %d), want 2 recorded + 2 dropped", out.Reads, out.ReadsDropped)
+	}
+	for _, r := range out.Reads {
+		if r.Entity != agent.UnitTestEntity || r.Value != "hetero" || !r.Overridden || !r.Found {
+			t.Fatalf("read event = %+v", r)
+		}
+		if r.Callsite == "" {
+			t.Fatalf("read event missing callsite: %+v", r)
+		}
+	}
+
+	// Capture off: same Msg (the ring head is stable), no capture fields.
+	bare := RunOnce(capturedApp(), &app.Tests[0], opts, 1)
+	if bare.Msg != out.Msg {
+		t.Fatalf("capture changed Msg: %q vs %q", bare.Msg, out.Msg)
+	}
+	if bare.Logs != nil || bare.Reads != nil || bare.ReadsDropped != 0 {
+		t.Fatalf("capture-off outcome carries capture fields: %+v", bare)
+	}
+}
+
 func appWith(test UnitTest) *App {
 	return &App{
 		Name:      "t-app",

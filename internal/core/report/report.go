@@ -149,6 +149,113 @@ func Markdown(w io.Writer, res *campaign.Result) {
 	}
 }
 
+// Explain renders the campaign's verdict-forensics triage report as
+// Markdown: one section per reported parameter carrying the evidence of
+// its first convicting instance — canonical assignment, round-0 arms,
+// trial counts, the first divergent config read, a harness-log excerpt,
+// and the copy-pasteable repro command. This is the paper's §7.1 manual
+// triage (57 reports hand-analyzed down to 41 true problems) made
+// data-driven. Shared by `zebraconf -mode explain` and reportgen
+// -explain, so the interactive and the archived reports render
+// identically. param filters to one parameter ("" = all); naming a
+// parameter the campaign did not report is an error, so scripts
+// grepping the output fail loudly instead of reading an empty report.
+func Explain(w io.Writer, res *campaign.Result, param string) error {
+	reports := res.Reported
+	if param != "" {
+		var filtered []campaign.ParamReport
+		for _, r := range res.Reported {
+			if r.Param == param {
+				filtered = append(filtered, r)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("report: parameter %q was not reported by the %s campaign", param, res.App)
+		}
+		reports = filtered
+	}
+	fmt.Fprintf(w, "# Verdict forensics — %s\n\n", res.App)
+	fmt.Fprintf(w, "%d reported parameter(s): %d true problem(s), %d false positive(s) against seeded ground truth.\n\n",
+		len(res.Reported), res.TruePositives, res.FalsePositives)
+	for _, r := range reports {
+		explainParam(w, r)
+	}
+	return nil
+}
+
+func explainParam(w io.Writer, r campaign.ParamReport) {
+	fmt.Fprintf(w, "## `%s`\n\n", r.Param)
+	verdict := "true problem"
+	if r.Truth != confkit.SafetyUnsafe {
+		verdict = "false positive"
+	}
+	fmt.Fprintf(w, "- Ground truth: **%s** (%s)\n", r.Truth, verdict)
+	if r.Why != "" {
+		fmt.Fprintf(w, "- Why: %s\n", r.Why)
+	}
+	fmt.Fprintf(w, "- Confirming tests (%d): %s\n", len(r.Tests), strings.Join(r.Tests, ", "))
+	fmt.Fprintf(w, "- Min p-value: %.3g\n", r.MinP)
+	ev := r.Evidence
+	if ev == nil {
+		fmt.Fprintf(w, "\n_No evidence record (campaign ran with -evidence-max 0)._\n\n")
+		return
+	}
+	fmt.Fprintf(w, "- Convicting instance: `%s` — test `%s`, confirmation round %d, seed %d\n",
+		ev.Instance, ev.Test, ev.Round, ev.Seed)
+	fmt.Fprintf(w, "- Repro: `%s`\n", ev.Repro)
+	fmt.Fprintf(w, "- Trials: hetero %d fail / %d pass, homo %d fail / %d pass\n",
+		ev.HeteroFail, ev.HeteroPass, ev.HomoFail, ev.HomoPass)
+	if ev.Msg != "" {
+		fmt.Fprintf(w, "- Failure: %s\n", clip(ev.Msg, 200))
+	}
+	if ev.VerdictOnly {
+		fmt.Fprintf(w, "\n_Record degraded to verdict-only: the campaign-wide -evidence-max budget was exhausted before this instance (log and read trace stripped)._\n\n")
+		return
+	}
+	if len(ev.Assign) > 0 {
+		fmt.Fprintf(w, "\nHeterogeneous assignment:\n\n")
+		fmt.Fprintf(w, "| entity | parameter | assigned value |\n|---|---|---|\n")
+		for _, kv := range ev.Assign {
+			fmt.Fprintf(w, "| %s[%d] | `%s` | `%s` |\n", kv.Entity, kv.Index, kv.Param, kv.Value)
+		}
+	}
+	if len(ev.Arms) > 0 {
+		fmt.Fprintf(w, "\nRound-0 arms:\n\n")
+		fmt.Fprintf(w, "| arm | seed | outcome | execution |\n|---|---|---|---|\n")
+		for _, a := range ev.Arms {
+			outcome := "pass"
+			if a.Failed {
+				outcome = "fail"
+			}
+			src := "ran here"
+			if a.Cached {
+				src = "reused from cache (digest " + clip(a.Digest, 12) + ")"
+			} else if a.Digest != "" {
+				src = "ran here (digest " + clip(a.Digest, 12) + ")"
+			}
+			fmt.Fprintf(w, "| %s | %d | %s | %s |\n", a.Name, a.Seed, outcome, src)
+		}
+	}
+	if first, earlier, ok := ev.DivergentPair(); ok {
+		fmt.Fprintf(w, "\nFirst divergent read: #%d %s\n", ev.FirstDivergent, first.String())
+		fmt.Fprintf(w, "(diverges from the earlier %s)\n", earlier.String())
+	} else {
+		fmt.Fprintf(w, "\nFirst divergent read: none observed (%d reads recorded", len(ev.Reads))
+		if ev.ReadsDropped > 0 {
+			fmt.Fprintf(w, ", %d dropped past the cap", ev.ReadsDropped)
+		}
+		fmt.Fprintf(w, ")\n")
+	}
+	if logs := ev.RenderLog(); len(logs) > 0 {
+		fmt.Fprintf(w, "\nHarness log:\n\n```\n")
+		for _, l := range logs {
+			fmt.Fprintln(w, l)
+		}
+		fmt.Fprintf(w, "```\n")
+	}
+	fmt.Fprintln(w)
+}
+
 // Summary aggregates several campaigns into the paper's headline numbers
 // (57 reported, 41 true).
 type Summary struct {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/stats"
@@ -74,6 +75,11 @@ type Result struct {
 	Rounds int
 	// HeteroMsg is a failure message from a heterogeneous run, for reports.
 	HeteroMsg string
+	// Evidence is the instance's forensic record (nil unless
+	// Options.Evidence is set): the captured heterogeneous execution —
+	// preferring the first failing one — plus per-arm identity and trial
+	// counts. The campaign layer fills in instance/param/repro.
+	Evidence *forensics.Evidence
 }
 
 // Options configures a Runner.
@@ -106,6 +112,11 @@ type Options struct {
 	// Obs receives execution metrics and trace spans; nil disables
 	// instrumentation at no cost.
 	Obs *obs.Observer
+	// Evidence, when non-nil, captures a bounded forensic record per
+	// instance (heterogeneous log + read trace, arm identities, trial
+	// counts) and charges it against the recorder's campaign-wide
+	// budget. Nil disables capture entirely.
+	Evidence *forensics.Recorder
 }
 
 // Runner executes instances against one application.
@@ -152,11 +163,18 @@ func seedFor(base int64, label string, arm string, round int) int64 {
 
 // execute performs one real unit-test run under an explicit seed.
 func (r *Runner) execute(test *harness.UnitTest, assign map[agent.Key]string, seed int64, arm string) harness.Outcome {
+	return r.executeSpec(test, assign, seed, arm, harness.CaptureSpec{})
+}
+
+// executeSpec is execute with bounded evidence capture; the zero spec
+// captures nothing. Capture never changes the execution: same seed, same
+// assignment, same outcome.
+func (r *Runner) executeSpec(test *harness.UnitTest, assign map[agent.Key]string, seed int64, arm string, spec harness.CaptureSpec) harness.Outcome {
 	r.executions.Add(1)
-	out := harness.RunOnceObserved(r.app, test, agent.Options{
+	out := harness.RunOnceCaptured(r.app, test, agent.Options{
 		Strategy: r.opts.Strategy,
 		Assign:   assign,
-	}, seed, r.opts.Obs)
+	}, seed, r.opts.Obs, spec)
 	r.opts.Obs.RecordExecution(r.app.Name, arm, out.Failed)
 	return out
 }
@@ -173,19 +191,29 @@ func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, la
 // label, so every instance needing this exact (test, assignment, round)
 // baseline performs the byte-identical trial — which is what makes
 // memoized reuse sound. reused reports that a cached or coalesced
-// result was returned instead of executing.
-func (r *Runner) runCanonical(test *harness.UnitTest, assign map[agent.Key]string, arm string, round int) (out harness.Outcome, reused bool) {
+// result was returned instead of executing; key identifies the
+// (original) execution either way. A reused result emits a cache-hit
+// span under parent carrying the original execution's digest, so traced
+// campaigns account saved executions in the tree, not just in counters.
+func (r *Runner) runCanonical(parent obs.SpanID, test *harness.UnitTest, assign map[agent.Key]string, arm string, round int) (out harness.Outcome, reused bool, key memo.Key) {
 	hash := memo.HashAssignment(assign)
 	seed := memo.SeedFor(r.opts.BaseSeed, test.Name, hash, round)
-	key := memo.Key{App: r.app.Name, Test: test.Name, Assign: hash, Seed: seed}
+	key = memo.Key{App: r.app.Name, Test: test.Name, Assign: hash, Seed: seed}
 	res, reused := r.opts.Cache.Do(key, func() memo.Result {
 		out = r.execute(test, assign, seed, arm)
 		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg}
 	})
 	if reused {
 		out = harness.Outcome{Failed: res.Failed, TimedOut: res.TimedOut, Msg: res.Msg}
+		s := r.opts.Obs.StartSpan("cache-hit", parent,
+			obs.String("app", r.app.Name),
+			obs.String("test", test.Name),
+			obs.String("arm", arm),
+			obs.String("digest", key.Assign),
+			obs.Int("seed", key.Seed))
+		s.End()
 	}
-	return out, reused
+	return out, reused, key
 }
 
 // PreRun executes every unit test once with no assignments, collecting the
@@ -217,13 +245,17 @@ func (r *Runner) RunAssignment(test *harness.UnitTest, asn testgen.Assignment, l
 // (or with gating disabled) it keeps running paired trials until Fisher's
 // exact test confirms the heterogeneous failure at the significance level,
 // or the round budget is exhausted. The instance span nests under parent.
-func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) Result {
-	res := Result{PValue: 1}
+func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn testgen.Assignment, label string) (res Result) {
+	res = Result{PValue: 1}
 	span := r.opts.Obs.StartSpan("instance", parent,
 		obs.String("app", r.app.Name),
 		obs.String("test", test.Name),
 		obs.String("instance", label),
 		obs.Int("seed", seedFor(r.opts.BaseSeed, label, "hetero", 0)))
+	rec := r.opts.Evidence
+	var ev *forensics.Evidence
+	var arms []forensics.Arm
+	var heteroFail, heteroPass, homoFail, homoPass int64
 	defer func() {
 		span.SetAttr(
 			obs.String("verdict", res.Verdict.String()),
@@ -234,6 +266,12 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 		span.End()
 		r.opts.Obs.RecordVerdict(r.app.Name, res.Verdict.String(), res.FirstTrialSignal)
 		r.opts.Obs.Observe(obs.MConfirmRounds, float64(res.Rounds), "app", r.app.Name)
+		if ev != nil {
+			ev.Arms = arms
+			ev.HeteroFail, ev.HeteroPass = heteroFail, heteroPass
+			ev.HomoFail, ev.HomoPass = homoFail, homoPass
+			res.Evidence = rec.Admit(ev)
+		}
 	}()
 
 	runRound := func(round int, heteroFail, heteroPass, homoFail, homoPass *int64, anyHomoFailed *bool) {
@@ -242,7 +280,20 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 			obs.String("test", test.Name),
 			obs.Int("round", int64(round)))
 		roundHomoFailBase := *homoFail
-		het := r.runOnce(test, asn.Hetero, label, "hetero", round)
+		var het harness.Outcome
+		if rec.Enabled() && (ev == nil || !ev.Failed) {
+			// Capture this heterogeneous trial: round 0 always, later
+			// rounds until one fails — the failing execution is the one
+			// worth explaining, and once held it is never re-captured.
+			seed := seedFor(r.opts.BaseSeed, label, "hetero", round)
+			het = r.executeSpec(test, asn.Hetero, seed, "hetero", rec.Spec())
+			if ev == nil || het.Failed {
+				ev = forensics.FromOutcome(r.app.Name, test.Name, seed, round, het)
+				ev.Assign = forensics.AssignKV(asn.Hetero)
+			}
+		} else {
+			het = r.runOnce(test, asn.Hetero, label, "hetero", round)
+		}
 		res.Executions++
 		if het.Failed {
 			*heteroFail++
@@ -252,12 +303,28 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 		} else {
 			*heteroPass++
 		}
+		if rec.Enabled() && round == 0 {
+			arms = append(arms, forensics.Arm{
+				Name:   "hetero",
+				Seed:   seedFor(r.opts.BaseSeed, label, "hetero", 0),
+				Failed: het.Failed,
+			})
+		}
 		for i, arm := range asn.Homo {
-			out, reused := r.runCanonical(test, arm, homoArmName(i), round)
+			out, reused, key := r.runCanonical(rs.ID(), test, arm, homoArmName(i), round)
 			if reused {
 				res.Saved++
 			} else {
 				res.Executions++
+			}
+			if rec.Enabled() && round == 0 {
+				arms = append(arms, forensics.Arm{
+					Name:   homoArmName(i),
+					Seed:   key.Seed,
+					Digest: key.Assign,
+					Failed: out.Failed,
+					Cached: reused,
+				})
 			}
 			if out.Failed {
 				*homoFail++
@@ -273,7 +340,6 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 		rs.End()
 	}
 
-	var heteroFail, heteroPass, homoFail, homoPass int64
 	anyHomoFailedFirst := false
 	runRound(0, &heteroFail, &heteroPass, &homoFail, &homoPass, &anyHomoFailedFirst)
 	res.FirstTrialSignal = heteroFail > 0 && !anyHomoFailedFirst
@@ -326,7 +392,7 @@ func (r *Runner) RunPooledIn(parent obs.SpanID, test *harness.UnitTest, asn test
 		obs.String("app", r.app.Name),
 		obs.String("test", test.Name),
 		obs.String("pool", label))
-	out, reused := r.runCanonical(test, asn.Hetero, "pool", 0)
+	out, reused, _ := r.runCanonical(span.ID(), test, asn.Hetero, "pool", 0)
 	span.SetAttr(obs.Bool("failed", out.Failed), obs.Bool("cached", reused))
 	span.End()
 	result := "pass"

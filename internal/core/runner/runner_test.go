@@ -217,7 +217,7 @@ func TestCanonicalHomoSeedsIgnoreLabel(t *testing.T) {
 		var seq []string
 		for round := 0; round <= 4; round++ {
 			for i, arm := range asn.Homo {
-				out, _ := r.runCanonical(test, arm, homoArmName(i), round)
+				out, _, _ := r.runCanonical(obs.NoSpan, test, arm, homoArmName(i), round)
 				seq = append(seq, fmt.Sprintf("%s/%d:%v", homoArmName(i), round, out.Failed))
 			}
 		}

@@ -139,6 +139,17 @@ const (
 	// MCacheSaved gauges total unit-test executions avoided by
 	// memoization (hits + shared hits + coalesced). Labels: app.
 	MCacheSaved = "zebraconf_exec_cache_saved_executions"
+
+	// Verdict forensics catalog (internal/core/forensics).
+
+	// MEvidenceRecords counts evidence records admitted to the store.
+	// Labels: app.
+	MEvidenceRecords = "zebraconf_evidence_records_total"
+	// MEvidenceTruncated counts evidence truncation events: reason=log
+	// (per-execution log ring overflowed), reason=reads (read-trace cap
+	// hit), reason=budget (campaign-wide -evidence-max exhausted, record
+	// degraded to verdict-only). Labels: app, reason.
+	MEvidenceTruncated = "zebraconf_evidence_truncated_total"
 )
 
 // Bucket layouts for the catalog's histogram families.

@@ -151,6 +151,38 @@ func (s *Span) End() {
 	_ = s.tr.enc.Encode(rec)
 }
 
+// AllocID reserves a fresh span ID without opening a span. Stitching
+// uses it: a coordinator folding a worker's trace fragment into its own
+// stream must re-identify every foreign span so the IDs cannot collide
+// with locally allocated ones.
+func (t *Tracer) AllocID() SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	return SpanID(t.next.Add(1))
+}
+
+// Emit writes a fully resolved record to the trace. The caller owns ID
+// and timestamp consistency (use AllocID and SinceEpochUS); encoding
+// errors are dropped just like Span.End's.
+func (t *Tracer) Emit(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = t.enc.Encode(rec)
+}
+
+// SinceEpochUS converts an absolute time to this tracer's epoch-relative
+// microseconds, the StartUS base for rebasing foreign span fragments.
+func (t *Tracer) SinceEpochUS(tm time.Time) int64 {
+	if t == nil {
+		return 0
+	}
+	return tm.Sub(t.epoch).Microseconds()
+}
+
 // ReadTrace parses a JSONL trace, for tests and tools.
 func ReadTrace(r io.Reader) ([]SpanRecord, error) {
 	dec := json.NewDecoder(r)
