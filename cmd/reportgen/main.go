@@ -1,5 +1,6 @@
 // Command reportgen renders campaign JSON (written by `zebraconf -json`)
-// as the Markdown tables EXPERIMENTS.md embeds.
+// as the Markdown tables EXPERIMENTS.md embeds, and diffs run-ledger
+// entries (`reportgen -diff -ledger <dir> -app <app>`).
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"os"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/ledger"
 	"zebraconf/internal/core/report"
 )
 
@@ -17,8 +19,16 @@ func main() {
 		in      = flag.String("in", "campaign.json", "campaign JSON produced by zebraconf -json")
 		explain = flag.Bool("explain", false, "render the verdict-forensics triage report instead of the results tables")
 		param   = flag.String("param", "", "with -explain: report only this parameter")
+		diff    = flag.Bool("diff", false, "diff two run-ledger records instead of rendering tables (same semantics as zebraconf -mode diff)")
+		ledgerD = flag.String("ledger", "", "with -diff: the -ledger directory campaigns appended to")
+		appName = flag.String("app", "", "with -diff: compare this app's two most recent runs")
+		runs    = flag.String("diff-runs", "", "with -diff: two comma-separated run IDs (or unique prefixes) instead of the app's last two")
 	)
 	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(*ledgerD, *appName, *runs))
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -55,4 +65,33 @@ func main() {
 	uniq, trueOnes := report.UniqueParams(results)
 	fmt.Printf("**Overall:** %d reports, %d distinct parameters (%d true problems, %d false positives as scored by the registries' ground truth), %d unit-test executions.\n",
 		s.Reported, uniq, trueOnes, uniq-trueOnes, s.Executed)
+}
+
+// runDiff mirrors `zebraconf -mode diff`: exit 0 when the reported sets
+// are identical, 1 on any delta, 2 on usage errors.
+func runDiff(dir, app, runs string) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "reportgen: -diff needs -ledger <dir>")
+		return 2
+	}
+	if app == "" && runs == "" {
+		fmt.Fprintln(os.Stderr, "reportgen: -diff compares one app's runs; pass -app (or explicit -diff-runs)")
+		return 2
+	}
+	recs, err := ledger.Read(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportgen:", err)
+		return 2
+	}
+	a, b, err := ledger.PickPair(recs, app, runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportgen:", err)
+		return 2
+	}
+	d := ledger.Diff(a, b)
+	d.Render(os.Stdout)
+	if d.Clean() {
+		return 0
+	}
+	return 1
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/ledger"
+)
+
+// buildVersion labels the zebraconf_build_info metric. Module builds
+// carry a VCS-stamped version; plain `go build` in a work tree reports
+// devel.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// ledgerRecord summarizes one finished campaign as a run-ledger entry.
+func ledgerRecord(res *campaign.Result, seed int64, start time.Time, workers int, flags map[string]string) ledger.Record {
+	names := make([]string, 0, len(res.Reported))
+	lines := make([]string, 0, len(res.Reported))
+	var evRecords int
+	var evBytes int64
+	for _, p := range res.Reported {
+		names = append(names, p.Param)
+		lines = append(lines, p.Param+"\x00"+p.Truth.String())
+		if p.Evidence != nil {
+			evRecords++
+			if b, err := json.Marshal(p.Evidence); err == nil {
+				evBytes += int64(len(b))
+			}
+		}
+	}
+	sort.Strings(names)
+	return ledger.Record{
+		RunID:            ledger.NewRunID(res.App, seed, start, os.Getpid()),
+		Start:            start.UTC().Format(time.RFC3339),
+		App:              res.App,
+		Seed:             seed,
+		Flags:            flags,
+		FlagsDigest:      ledger.DigestFlags(flags),
+		Reported:         names,
+		ReportedDigest:   ledger.DigestReported(lines),
+		Tests:            res.NumTests,
+		Params:           res.NumParams,
+		TruePositives:    res.TruePositives,
+		FalsePositives:   res.FalsePositives,
+		Missed:           len(res.Missed),
+		Executions:       res.Counts.Executed,
+		ExecutionsSaved:  res.Counts.ExecutionsSaved,
+		MakespanSeconds:  res.Elapsed.Seconds(),
+		Workers:          workers,
+		WorkerStalls:     res.WorkerStalls,
+		SkippedTests:     len(res.SkippedTests),
+		QuarantinedItems: len(res.QuarantinedItems),
+		EvidenceRecords:  evRecords,
+		EvidenceBytes:    evBytes,
+	}
+}
+
+// runDiff implements -mode diff: compare two ledger records and report
+// reported-set regressions and makespan deltas. Exit 0 when the
+// reported sets are identical, 1 on any delta, 2 on usage errors.
+func runDiff(dir, app, runs string) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "zebraconf: -mode diff needs -ledger <dir>")
+		return 2
+	}
+	filter := app
+	if filter == "all" {
+		filter = ""
+	}
+	if filter == "" && runs == "" {
+		fmt.Fprintln(os.Stderr, "zebraconf: -mode diff compares one app's runs; pass a single -app (or explicit -diff-runs)")
+		return 2
+	}
+	recs, err := ledger.Read(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zebraconf:", err)
+		return 2
+	}
+	a, b, err := ledger.PickPair(recs, filter, runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zebraconf:", err)
+		return 2
+	}
+	d := ledger.Diff(a, b)
+	d.Render(os.Stdout)
+	if d.Clean() {
+		return 0
+	}
+	return 1
+}

@@ -11,6 +11,9 @@
 //	zebraconf -mode run -app minihdfs -trace /tmp/t.jsonl -metrics /tmp/m.prom -progress
 //	zebraconf -mode run -app minihdfs -workers 4 -seed 7 -checkpoint /tmp/c.jsonl
 //	zebraconf -mode run -app minihdfs -workers 4 -seed 7 -resume /tmp/c.jsonl
+//	zebraconf -mode run -app minihdfs -http :6060 -events /tmp/e.jsonl -ledger /tmp/runs
+//	zebraconf -mode watch -http-addr :6060            # live terminal dashboard
+//	zebraconf -mode diff -ledger /tmp/runs -app minihdfs
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"math"
 	"os"
 	"os/exec"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,6 +34,7 @@ import (
 	"zebraconf/internal/core/dist"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
+	"zebraconf/internal/core/ledger"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
@@ -38,7 +43,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run | explain | suggest-deps")
+		mode       = flag.String("mode", "run", "stats | run | explain | watch | diff | suggest-deps")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
@@ -74,6 +79,15 @@ func main() {
 		resume         = flag.String("resume", "", "skip work items already completed in this checkpoint journal (with -workers)")
 		itemTimeout    = flag.Duration("item-timeout", dist.DefaultItemTimeout, "per-work-item deadline before its worker is killed")
 		itemRetries    = flag.Int("item-retries", dist.DefaultItemRetries, "crashed/timed-out work item retries before quarantine")
+
+		// Live introspection & run ledger (internal/obs, internal/core/ledger).
+		eventsOut  = flag.String("events", "", "write the JSONL campaign event log (flight recorder) to this file")
+		ledgerDir  = flag.String("ledger", "", "append one run-summary record per campaign to <dir>/ledger.jsonl (compared by -mode diff)")
+		pprofRates = flag.Int("pprof-rates", 0, "sample mutex contention and blocking at rate N for the -http pprof endpoints (0 = off)")
+		heartbeat  = flag.Duration("heartbeat", time.Second, "worker heartbeat period with -workers; 0 disables heartbeats and stall detection")
+		httpTarget = flag.String("http-addr", "", "with -mode watch: the -http address of the running campaign to poll")
+		watchEvery = flag.Duration("watch-interval", time.Second, "with -mode watch: poll interval")
+		diffRuns   = flag.String("diff-runs", "", "with -mode diff: two comma-separated run IDs (or unique prefixes) to compare instead of the app's last two")
 	)
 	flag.Parse()
 
@@ -98,11 +112,42 @@ func main() {
 		return
 	}
 
+	// watch and diff are pure introspection modes: they read a running
+	// campaign's status API or a ledger directory and never execute
+	// anything, so they return before the observer machinery assembles.
+	switch *mode {
+	case "watch":
+		exitCode = runWatch(*httpTarget, *watchEvery)
+		return
+	case "diff":
+		exitCode = runDiff(*ledgerDir, *appName, *diffRuns)
+		return
+	}
+
+	if *pprofRates > 0 {
+		runtime.SetMutexProfileFraction(*pprofRates)
+		runtime.SetBlockProfileRate(*pprofRates)
+	}
+
 	// Observability is assembled only when asked for; a nil Observer
 	// keeps every instrumented path on its no-op branch.
 	var observer *obs.Observer
-	if *traceOut != "" || *metricsOut != "" || *progress || *httpAddr != "" {
+	if *traceOut != "" || *metricsOut != "" || *progress || *httpAddr != "" || *eventsOut != "" || *ledgerDir != "" {
 		observer = obs.New()
+		// The status tracker costs a few counters per item either way;
+		// attach it whenever any observability is on so /api answers and
+		// ledger stall counts are available without a dedicated flag.
+		observer.Status = obs.NewStatus()
+		observer.GaugeSet(obs.MBuildInfo, 1, "version", buildVersion(), "go", runtime.Version())
+		if *eventsOut != "" {
+			f, err := os.Create(*eventsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			observer.Events = obs.NewEventLog(f)
+		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
@@ -116,13 +161,13 @@ func main() {
 			observer.Progress = obs.NewProgress(os.Stderr, 2*time.Second)
 		}
 		if *httpAddr != "" {
-			addr, shutdown, err := obs.ServeDebug(*httpAddr, observer.Metrics)
+			addr, shutdown, err := obs.ServeDebug(*httpAddr, observer)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			defer shutdown()
-			fmt.Fprintf(os.Stderr, "[zebraconf] debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", addr)
+			fmt.Fprintf(os.Stderr, "[zebraconf] debug server on http://%s (/api/campaign, /api/workers, /api/params, /metrics, /debug/vars, /debug/pprof)\n", addr)
 		}
 		if *metricsOut != "" {
 			// Create eagerly so a bad path fails before the campaign,
@@ -246,6 +291,29 @@ func main() {
 		// app, and when NO requested test exists anywhere, fail the run.
 		requestedTests := splitList(*tests)
 		anyTestResolved := len(requestedTests) == 0
+		// The ledger's flags digest covers only execution-affecting flags,
+		// so two runs differing purely in instrumentation (-events, -trace,
+		// -http, -ledger itself…) diff clean.
+		execFlags := map[string]string{
+			"params":          *params,
+			"tests":           *tests,
+			"parallel":        fmt.Sprint(*parallel),
+			"seed":            fmt.Sprint(*seed),
+			"no-pool":         fmt.Sprint(*noPool),
+			"exec-cache":      fmt.Sprint(*execCache),
+			"no-gate":         fmt.Sprint(*noGate),
+			"thread-only":     fmt.Sprint(*threadOnly),
+			"max-pool":        fmt.Sprint(*maxPool),
+			"sched":           *schedFlag,
+			"stream":          fmt.Sprint(*stream),
+			"speculate":       fmt.Sprint(*speculate),
+			"quarantine":      fmt.Sprint(*quarantine),
+			"evidence-max":    fmt.Sprint(*evidenceMax),
+			"workers":         fmt.Sprint(*workers),
+			"worker-parallel": fmt.Sprint(*workerParallel),
+			"item-timeout":    itemTimeout.String(),
+			"item-retries":    fmt.Sprint(*itemRetries),
+		}
 		var results []*campaign.Result
 		for _, app := range selected {
 			if !explain {
@@ -267,12 +335,14 @@ func main() {
 				}
 			}
 			appOpts := opts
+			var adapter *distAdapter
 			if *workers > 0 {
 				cfg := dist.ConfigFrom(opts)
 				// With the coordinator tracing, workers trace each item
 				// too; the coordinator stitches their fragments under its
 				// own item spans so the file renders as one tree.
 				cfg.TraceItems = *traceOut != ""
+				cfg.HeartbeatMS = int(heartbeat.Milliseconds())
 				cfg.Parallel = *workerParallel
 				if cfg.Parallel <= 0 {
 					// Split the in-process concurrency budget across the
@@ -301,9 +371,14 @@ func main() {
 					Obs:                 observer,
 					Stderr:              os.Stderr,
 				})
-				appOpts.Distributor = &distAdapter{coord: coord}
+				adapter = &distAdapter{coord: coord}
+				appOpts.Distributor = adapter
 			}
+			start := time.Now()
 			res := campaign.Run(app, appOpts)
+			if adapter != nil && adapter.run != nil {
+				res.WorkerStalls = adapter.run.Stalls()
+			}
 			if explain {
 				if err := report.Explain(os.Stdout, res, *onlyParam); err != nil {
 					fmt.Fprintln(os.Stderr, "zebraconf:", err)
@@ -312,6 +387,16 @@ func main() {
 			} else {
 				report.Full(os.Stdout, res)
 				fmt.Println()
+			}
+			if *ledgerDir != "" {
+				rec := ledgerRecord(res, *seed, start, *workers, execFlags)
+				if err := ledger.Append(*ledgerDir, rec); err != nil {
+					fmt.Fprintln(os.Stderr, "zebraconf: writing run ledger:", err)
+					exitCode = 1
+				} else {
+					fmt.Fprintf(os.Stderr, "[zebraconf] ledger: recorded run %s (%s) in %s\n",
+						rec.RunID, res.App, *ledgerDir)
+				}
 			}
 			results = append(results, res)
 		}

@@ -158,6 +158,13 @@ type Result struct {
 	// surfaces them as a coverage gap. Always empty in-process.
 	QuarantinedItems []string
 
+	// WorkerStalls counts workers the distributed coordinator observed
+	// silent past the heartbeat stall threshold (advisory: stalled
+	// workers are not killed, but a stall during a run is a health
+	// signal the report surfaces next to quarantine). Always zero
+	// in-process.
+	WorkerStalls int64
+
 	// LeakedGoroutines counts unit-test goroutines the harness had to
 	// abandon after a timeout during this campaign. The in-process path
 	// cannot kill them — they keep running and mutating their (isolated,
@@ -252,20 +259,33 @@ func Run(app *harness.App, opts Options) *Result {
 	}
 	o.ProgressBegin(app.Name)
 	defer o.ProgressFinish()
+	o.Stat().CampaignBegin(app.Name, opts.Parallelism)
+	o.Event(obs.EvCampaignStart,
+		obs.String("app", app.Name),
+		obs.Int("tests", int64(len(tests))),
+		obs.Int("params", int64(schema.Len())))
 	campSpan := o.StartSpan("campaign", obs.NoSpan,
 		obs.String("app", app.Name),
 		obs.Int("tests", int64(len(tests))),
 		obs.Int("params", int64(schema.Len())))
 	defer campSpan.End()
-	// phase opens a child span and times the phase into MPhaseSeconds;
-	// call the returned func when the phase ends.
+	// phase opens a child span, times the phase into MPhaseSeconds, and
+	// brackets it in the event log and live status; call the returned
+	// func when the phase ends.
 	phase := func(name string) (obs.SpanID, func()) {
 		span := o.StartSpan("phase", campSpan.ID(),
 			obs.String("app", app.Name), obs.String("phase", name))
+		o.Event(obs.EvPhaseStart,
+			obs.String("app", app.Name), obs.String("phase", name))
+		o.Stat().PhaseStart(name)
 		phaseStart := time.Now()
 		return span.ID(), func() {
 			o.Observe(obs.MPhaseSeconds, time.Since(phaseStart).Seconds(),
 				"app", app.Name, "phase", name)
+			o.Event(obs.EvPhaseFinish,
+				obs.String("app", app.Name), obs.String("phase", name),
+				obs.Float("elapsed_s", time.Since(phaseStart).Seconds()))
+			o.Stat().PhaseFinish(name)
 			span.End()
 		}
 	}
@@ -315,6 +335,13 @@ func Run(app *harness.App, opts Options) *Result {
 		obs.Int("executed", res.Counts.Executed),
 		obs.Int("executions_saved", res.Counts.ExecutionsSaved),
 		obs.Int("skipped_tests", int64(len(res.SkippedTests))))
+	o.Stat().CampaignFinish()
+	o.Event(obs.EvCampaignFinish,
+		obs.String("app", app.Name),
+		obs.Int("reported", int64(len(res.Reported))),
+		obs.Int("executions", res.Counts.Executed),
+		obs.Int("executions_saved", res.Counts.ExecutionsSaved),
+		obs.Float("elapsed_s", res.Elapsed.Seconds()))
 	return res
 }
 
@@ -352,6 +379,7 @@ func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.P
 		items[i] = WorkItem{ID: i, Test: x.pre.Test, PreRun: x.pre}
 		items[i].PredSeconds = c.predict(items[i], x.secs)
 		preds[i] = items[i].PredSeconds
+		o.Stat().ItemQueued(items[i].ID, items[i].Test, items[i].PredSeconds)
 	}
 	order, moved := sched.Rank(opts.SchedPolicy, preds)
 
@@ -380,6 +408,7 @@ func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.P
 	leakBase := harness.AbandonedGoroutines()
 	itemResults = parallelMap(opts.Parallelism, o, app.Name, "instances", ordered, func(it WorkItem) ItemResult {
 		t0 := time.Now()
+		c.noteDispatch(it)
 		r := ExecuteItem(app, c.gen, c.run, opts, span, it, onUnsafe, false)
 		c.observeItem(it, time.Since(t0))
 		return r
@@ -399,14 +428,32 @@ func (c *campaignExec) predict(item WorkItem, preSeconds float64) float64 {
 	return preSeconds * float64(n+1)
 }
 
+// noteDispatch marks an item entering execution on the in-process pool
+// (the distributed coordinator emits its own dispatch events with
+// worker attribution).
+func (c *campaignExec) noteDispatch(item WorkItem) {
+	c.o.Event(obs.EvItemDispatch,
+		obs.String("app", c.app.Name),
+		obs.Int("item", int64(item.ID)),
+		obs.String("test", item.Test))
+	c.o.Stat().ItemStart(item.ID)
+}
+
 // observeItem feeds one completed item's wall clock back into the
-// profile and the predicted-vs-actual accuracy histogram.
+// profile, the predicted-vs-actual accuracy histogram, the event log,
+// and the live status ETA.
 func (c *campaignExec) observeItem(item WorkItem, elapsed time.Duration) {
 	secs := elapsed.Seconds()
 	c.opts.Profile.Record(c.app.Name, item.Test, secs)
 	if item.PredSeconds > 0 {
 		c.o.Observe(obs.MSchedPredRatio, secs/item.PredSeconds, "app", c.app.Name)
 	}
+	c.o.Event(obs.EvItemComplete,
+		obs.String("app", c.app.Name),
+		obs.Int("item", int64(item.ID)),
+		obs.String("test", item.Test),
+		obs.Float("elapsed_s", secs))
+	c.o.Stat().ItemDone(item.ID, secs)
 }
 
 // unsafeHook returns the live cross-test quarantine hook used by the
@@ -428,6 +475,9 @@ func (c *campaignExec) unsafeHook() func(testgen.Instance, runner.Result) {
 		set[inst.Test] = true
 		if len(set) == c.opts.QuarantineThreshold {
 			c.o.CounterAdd(obs.MQuarantine, 1, "app", c.app.Name)
+			c.o.Event(obs.EvParamQuarantined,
+				obs.String("app", c.app.Name), obs.String("param", inst.Param))
+			c.o.Stat().ParamQuarantined(inst.Param)
 			c.gen.Quarantine(inst.Param)
 		}
 	}

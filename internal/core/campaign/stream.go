@@ -127,6 +127,7 @@ func (p *pipeline) doPreRun(idx int) {
 	p.pres[idx] = pre
 	item := WorkItem{ID: idx, Test: pre.Test, PreRun: pre}
 	item.PredSeconds = c.predict(item, d.Seconds())
+	c.o.Stat().ItemQueued(item.ID, item.Test, item.PredSeconds)
 
 	p.mu.Lock()
 	p.preLeft--
@@ -151,6 +152,7 @@ func (p *pipeline) doPreRun(idx int) {
 func (p *pipeline) doItem(item WorkItem) {
 	c := p.exec
 	t0 := time.Now()
+	c.noteDispatch(item)
 	res := ExecuteItem(c.app, c.gen, c.run, c.opts, p.span, item, p.onUnsafe, false)
 	c.observeItem(item, time.Since(t0))
 	p.results[item.ID] = res

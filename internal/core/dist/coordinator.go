@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zebraconf/internal/core/campaign"
@@ -79,6 +80,12 @@ type Options struct {
 	// after which a parameter is broadcast to workers as quarantined
 	// (§4's frequent-failer rule); 0 means 3.
 	QuarantineThreshold int
+	// StallAfter is how long a worker may go without a heartbeat before
+	// it is flagged stalled (advisory — the worker is not killed; the
+	// per-item deadline still governs). Zero means 5× the heartbeat
+	// interval. Irrelevant when Config.HeartbeatMS is zero: a worker
+	// that never heartbeats (and legacy test fakes) is never stalled.
+	StallAfter time.Duration
 	// Obs receives the coordinator's metrics, spans, and the progress /
 	// verdict replay of worker results. Nil disables observability.
 	Obs *obs.Observer
@@ -128,12 +135,25 @@ func (c *Coordinator) Start(parent obs.SpanID, total int) (*Run, error) {
 		obs.Int("workers", int64(workers)),
 		obs.Int("items", int64(total)))
 
+	parallel := c.opts.Config.Parallel
+	if parallel <= 0 {
+		parallel = DefaultWorkerParallel
+	}
+	o.Stat().SetSlots(workers * parallel)
+
 	r := &Run{
 		opts:    c.opts,
 		workers: workers,
 		total:   total,
 		o:       o,
 		span:    span,
+	}
+	r.hbEvery = time.Duration(c.opts.Config.HeartbeatMS) * time.Millisecond
+	if r.hbEvery > 0 {
+		r.stallAfter = c.opts.StallAfter
+		if r.stallAfter <= 0 {
+			r.stallAfter = 5 * r.hbEvery
+		}
 	}
 	if cfg := c.opts.Config; !cfg.DisableExecCache && !cfg.NoSharedCache {
 		r.sharedCache = make(map[memo.Key]memo.Result)
@@ -185,6 +205,13 @@ type Run struct {
 	// traffic is hot-path and must not contend with result accounting.
 	cacheMu     sync.Mutex
 	sharedCache map[memo.Key]memo.Result
+
+	// Heartbeat supervision, resolved from Config.HeartbeatMS and
+	// Options.StallAfter at Start; stalls counts stall events across
+	// every session for the campaign report.
+	hbEvery    time.Duration
+	stallAfter time.Duration
+	stalls     atomic.Int64
 
 	mu           sync.Mutex
 	results      map[int]campaign.ItemResult
@@ -265,6 +292,11 @@ func (r *Run) Submit(item campaign.WorkItem) {
 	r.q.push(item)
 	r.o.GaugeSet(obs.MQueueDepth, r.q.depth(), "app", r.opts.App)
 }
+
+// Stalls reports how many times a worker crossed the heartbeat stall
+// threshold during this run (0 with heartbeats off). Meaningful any
+// time; final after Drain.
+func (r *Run) Stalls() int64 { return r.stalls.Load() }
 
 // Drain blocks until every pending item resolves (or the run halts, or
 // every worker slot is lost) and returns one ItemResult per completed
@@ -414,6 +446,7 @@ func (r *Run) supervise(slot int) {
 func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 	o := r.o
 	app := r.opts.App
+	slotStr := strconv.Itoa(slot)
 	wspan := o.StartSpan("worker", r.span.ID(),
 		obs.String("app", app), obs.Int("slot", int64(slot)))
 	defer wspan.End()
@@ -438,6 +471,13 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 	ready := false
 	spawned := time.Now()
 	itemsDone := 0
+	// Heartbeat stall tracking, gated on hbSeen: stall detection only
+	// arms after this session's first heartbeat, so workers that never
+	// beat (heartbeats off, or protocol fakes predating them) are never
+	// flagged.
+	var lastHB time.Time
+	hbSeen := false
+	stalled := false
 
 	// crash tears the session down after the worker is lost: every
 	// inflight primary attempt is penalized (it may be what killed the
@@ -446,6 +486,10 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 	crash := func(reason string) sessionOutcome {
 		sess.kill()
 		o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", reason)
+		o.Event(obs.EvWorkerCrash,
+			obs.String("app", app), obs.Int("worker", int64(slot)),
+			obs.String("reason", reason))
+		o.Stat().WorkerGone(slot, reason)
 		wspan.SetAttr(obs.String("end", reason), obs.Int("items", int64(itemsDone)))
 		for id, e := range inflight {
 			e.span.SetAttr(obs.String("end", reason))
@@ -462,7 +506,13 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 	tickEvery := r.opts.ItemTimeout / 8
 	if tickEvery > time.Second {
 		tickEvery = time.Second
-	} else if tickEvery < 5*time.Millisecond {
+	}
+	if r.stallAfter > 0 && tickEvery > r.stallAfter/4 {
+		// Stall detection rides the same ticker; keep it responsive
+		// relative to the stall threshold, not just the item timeout.
+		tickEvery = r.stallAfter / 4
+	}
+	if tickEvery < 5*time.Millisecond {
 		tickEvery = 5 * time.Millisecond
 	}
 	tick := time.NewTicker(tickEvery)
@@ -505,6 +555,21 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				if !spec {
 					r.trackFlight(slot, item)
 				}
+				dispatchAttrs := []obs.Attr{
+					obs.String("app", app),
+					obs.Int("item", int64(item.ID)),
+					obs.String("test", item.Test),
+					obs.Int("worker", int64(slot)),
+				}
+				if spec {
+					o.Event(obs.EvSpeculate, dispatchAttrs...)
+					r.o.Stat().SpeculationRun()
+				}
+				if stolen {
+					o.Event(obs.EvSteal, dispatchAttrs...)
+				}
+				o.Event(obs.EvItemDispatch, append(dispatchAttrs, obs.Bool("spec", spec))...)
+				r.o.Stat().ItemStart(item.ID)
 				ispan := o.StartSpan("item", wspan.ID(),
 					obs.String("app", app),
 					obs.String("test", item.Test),
@@ -524,6 +589,7 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				e.span.End()
 			}
 			wspan.SetAttr(obs.String("end", "done"), obs.Int("items", int64(itemsDone)))
+			r.o.Stat().WorkerGone(slot, "done")
 			return sessDone
 		}
 
@@ -546,6 +612,26 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				}
 				ready = true
 				wspan.SetAttr(obs.Int("pid", int64(m.PID)))
+				o.Event(obs.EvWorkerReady,
+					obs.String("app", app), obs.Int("worker", int64(slot)),
+					obs.Int("pid", int64(m.PID)))
+				r.o.Stat().WorkerReady(slot, m.PID)
+			case MsgHeartbeat:
+				lastHB = time.Now()
+				hbSeen = true
+				if stalled {
+					stalled = false
+					o.Event(obs.EvWorkerRecovered,
+						obs.String("app", app), obs.Int("worker", int64(slot)))
+					r.o.Stat().WorkerRecovered(slot)
+				}
+				o.CounterAdd(obs.MHeartbeats, 1, "app", app, "worker", slotStr)
+				o.GaugeSet(obs.MMissedHeartbeats, 0, "app", app, "worker", slotStr)
+				var hb Heartbeat
+				if m.HB != nil {
+					hb = *m.HB
+				}
+				r.o.Stat().WorkerHeartbeat(slot, m.PID, hb.Inflight, hb.Executions, hb.Goroutines, hb.HeapBytes)
 			case MsgResult:
 				if m.Result == nil {
 					return crash("crash")
@@ -595,6 +681,22 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 				break
 			}
 			now := time.Now()
+			if hbSeen && r.stallAfter > 0 {
+				silent := now.Sub(lastHB)
+				if missed := int64(silent / r.hbEvery); missed > 0 {
+					o.GaugeSet(obs.MMissedHeartbeats, missed, "app", app, "worker", slotStr)
+				}
+				if !stalled && silent > r.stallAfter {
+					stalled = true
+					r.stalls.Add(1)
+					o.CounterAdd(obs.MWorkerStalls, 1, "app", app, "worker", slotStr)
+					o.Event(obs.EvWorkerStalled,
+						obs.String("app", app), obs.Int("worker", int64(slot)),
+						obs.Float("silent_s", silent.Seconds()),
+						obs.Int("inflight", int64(len(inflight))))
+					r.o.Stat().WorkerStalled(slot)
+				}
+			}
 			for id, e := range inflight {
 				if now.Sub(e.start) <= r.opts.ItemTimeout {
 					continue
@@ -624,6 +726,10 @@ func (r *Run) session(slot int, sess *workerSession) sessionOutcome {
 					r.q.requeue(slot, other.item)
 				}
 				o.CounterAdd(obs.MWorkerCrashes, 1, "app", app, "reason", "timeout")
+				o.Event(obs.EvWorkerCrash,
+					obs.String("app", app), obs.Int("worker", int64(slot)),
+					obs.String("reason", "timeout"))
+				r.o.Stat().WorkerGone(slot, "timeout")
 				wspan.SetAttr(obs.String("end", "timeout"), obs.Int("items", int64(itemsDone)))
 				return sessCrashed
 			}
@@ -816,11 +922,20 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	if dup {
 		// Execution is canonically seeded, so the copies agree; nothing
 		// to record.
+		r.o.Event(obs.EvSpeculationLoss,
+			obs.String("app", r.opts.App),
+			obs.Int("item", int64(res.ID)),
+			obs.Int("worker", int64(slot)),
+			obs.Bool("spec", spec))
 		return false
 	}
 	o, app := r.o, r.opts.App
 	if spec {
-		o.CounterAdd(obs.MSpeculationWins, 1, "app", app)
+		o.RecordSpeculationWin(app)
+		o.Event(obs.EvSpeculationWin,
+			obs.String("app", app),
+			obs.Int("item", int64(res.ID)),
+			obs.Int("worker", int64(slot)))
 	}
 	if r.journal != nil {
 		if err := r.journal.Append(Record{Kind: KindDone, Item: res.ID, Test: res.Test, Result: &res}); err != nil {
@@ -830,11 +945,20 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	o.CounterAdd(obs.MWorkerItems, 1, "app", app, "worker", strconv.Itoa(slot))
 	o.Observe(obs.MItemSeconds, elapsed.Seconds(), "app", app)
 	o.CounterAdd(obs.MItemExecutions, res.Executions, "app", app)
+	o.Event(obs.EvItemComplete,
+		obs.String("app", app),
+		obs.Int("item", int64(res.ID)),
+		obs.String("test", res.Test),
+		obs.Int("worker", int64(slot)),
+		obs.Float("elapsed_s", elapsed.Seconds()),
+		obs.Bool("spec", spec))
+	r.o.Stat().ItemDone(res.ID, elapsed.Seconds())
+	r.o.Stat().WorkerItemDone(slot)
 	if res.ExecutionsSaved > 0 {
 		// Worker-process metrics registries are not merged, so the
-		// coordinator replays the cache's saved-executions gauge from the
-		// item tallies (local and shared hits alike).
-		o.GaugeAdd(obs.MCacheSaved, res.ExecutionsSaved, "app", app)
+		// coordinator replays the cache's saved-executions accounting from
+		// the item tallies (local and shared hits alike).
+		o.RecordCacheSaved(app, res.ExecutionsSaved)
 	}
 	o.ProgressAddTotal(int64(res.Instances))
 	o.ProgressAddDone(int64(res.Instances))
@@ -843,6 +967,15 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	o.GaugeAdd(obs.MInstancesDone, int64(res.Instances), "app", app)
 	for _, v := range res.Verdicts {
 		o.RecordVerdict(app, v.Verdict, v.FirstTrialSignal)
+		if v.Verdict == runner.VerdictUnsafe.String() {
+			o.Event(obs.EvVerdict,
+				obs.String("app", app),
+				obs.String("param", v.Param),
+				obs.String("test", res.Test),
+				obs.String("instance", v.Instance),
+				obs.Float("p", v.PValue))
+			r.o.Stat().ParamVerdict(v.Param, res.Test, v.PValue)
+		}
 		if v.Evidence != nil {
 			// Worker metrics registries are not merged, so evidence
 			// accounting is replayed here from the records themselves
@@ -893,6 +1026,9 @@ func (r *Run) noteConfirmations(res campaign.ItemResult, emit bool) {
 		r.mu.Unlock()
 		if fire && emit {
 			r.o.CounterAdd(obs.MQuarantine, 1, "app", r.opts.App)
+			r.o.Event(obs.EvParamQuarantined,
+				obs.String("app", r.opts.App), obs.String("param", v.Param))
+			r.o.Stat().ParamQuarantined(v.Param)
 			for _, s := range targets {
 				// Best-effort: a send failure means the worker is dying
 				// and its supervisor will notice through the session.
@@ -920,6 +1056,12 @@ func (r *Run) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
 	r.mu.Unlock()
 	if n <= r.opts.ItemRetries {
 		r.o.CounterAdd(obs.MItemRetries, 1, "app", r.opts.App)
+		r.o.Event(obs.EvItemRetried,
+			obs.String("app", r.opts.App),
+			obs.Int("item", int64(item.ID)),
+			obs.String("test", item.Test),
+			obs.String("reason", reason))
+		r.o.Stat().ItemRequeued(item.ID)
 		r.q.requeue(slot, item)
 		return
 	}
@@ -929,6 +1071,12 @@ func (r *Run) retryOrGiveUp(slot int, item campaign.WorkItem, reason string) {
 		Quarantined: true,
 		Error:       fmt.Sprintf("abandoned after %d attempts (last failure: %s)", n, reason),
 	}
+	r.o.Event(obs.EvItemQuarantined,
+		obs.String("app", r.opts.App),
+		obs.Int("item", int64(item.ID)),
+		obs.String("test", item.Test),
+		obs.String("reason", reason))
+	r.o.Stat().ItemDone(item.ID, 0)
 	if r.journal != nil {
 		if err := r.journal.Append(Record{Kind: KindGiveUp, Item: item.ID, Test: item.Test, Reason: reason}); err != nil {
 			r.noteFailure("checkpoint write failed: " + err.Error())
@@ -1025,6 +1173,14 @@ func (r *Run) spawn(slot int) (*workerSession, error) {
 		return nil, err
 	}
 	r.o.CounterAdd(obs.MWorkerSpawns, 1, "app", r.opts.App, "worker", strconv.Itoa(slot))
+	pid := 0
+	if cmd.Process != nil {
+		pid = cmd.Process.Pid
+	}
+	r.o.Event(obs.EvWorkerSpawn,
+		obs.String("app", r.opts.App), obs.Int("worker", int64(slot)),
+		obs.Int("pid", int64(pid)))
+	r.o.Stat().WorkerSpawned(slot, pid)
 	s := &workerSession{
 		cmd:        cmd,
 		stdin:      stdin,

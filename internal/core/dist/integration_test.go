@@ -39,6 +39,10 @@ func TestMain(m *testing.M) {
 }
 
 func runWorker() {
+	if os.Getenv("ZEBRACONF_DIST_HB_FAKE") == "1" {
+		runHBFakeWorker()
+		return
+	}
 	if os.Getenv("ZEBRACONF_DIST_FAKE") != "" {
 		runFakeWorker()
 		return

@@ -59,7 +59,25 @@ const (
 	// and skipped instances merge as skipped, not failed, so resume stays
 	// correct.
 	MsgQuarantine = "quarantine"
+	// MsgHeartbeat (worker → coordinator) is the periodic liveness beat
+	// (Config.HeartbeatMS), carrying a health snapshot in HB. Purely
+	// advisory: the coordinator uses missed beats to flag stalled workers
+	// but never kills on them — the per-item deadline still governs.
+	MsgHeartbeat = "heartbeat"
 )
+
+// Heartbeat is the health snapshot riding in a MsgHeartbeat.
+type Heartbeat struct {
+	// Inflight lists the IDs of work items currently executing.
+	Inflight []int `json:"inflight,omitempty"`
+	// Executions counts unit-test executions completed by this worker
+	// process so far (per-item tallies, summed as results are sent).
+	Executions int64 `json:"executions,omitempty"`
+	// Goroutines and HeapBytes snapshot the worker runtime — a hung
+	// harness shows up as a goroutine plateau, a leak as heap growth.
+	Goroutines int    `json:"goroutines,omitempty"`
+	HeapBytes  uint64 `json:"heap_bytes,omitempty"`
+}
 
 // Msg is the single wire envelope; Type selects which fields are set.
 type Msg struct {
@@ -78,6 +96,8 @@ type Msg struct {
 	CacheKey *memo.Key    `json:"cache_key,omitempty"`
 	CacheRes *memo.Result `json:"cache_res,omitempty"`
 	CacheHit bool         `json:"cache_hit,omitempty"`
+	// HB carries the health snapshot of a MsgHeartbeat.
+	HB *Heartbeat `json:"hb,omitempty"`
 }
 
 // Config is the serializable subset of campaign.Options a worker needs
@@ -113,6 +133,11 @@ type Config struct {
 	// item span). Set when the coordinator itself is tracing; not part
 	// of campaign.Options, so ConfigFrom leaves it false.
 	TraceItems bool `json:"trace_items,omitempty"`
+	// HeartbeatMS is the worker heartbeat period in milliseconds; zero
+	// disables heartbeats (and with them coordinator stall detection).
+	// Not part of campaign.Options, so ConfigFrom leaves it zero — the
+	// CLI turns it on for real campaigns.
+	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
 }
 
 // ConfigFrom extracts the wire configuration from campaign options.

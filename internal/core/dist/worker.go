@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/forensics"
@@ -128,6 +132,45 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 		return err
 	}
 
+	// Heartbeats: a side goroutine beats every HeartbeatMS with a health
+	// snapshot — in-flight item IDs, executions done, goroutine count,
+	// heap bytes. Send errors are ignored here; a dying pipe surfaces
+	// through the session's own reads and writes.
+	var hbmu sync.Mutex
+	inflight := make(map[int]bool)
+	var execDone atomic.Int64
+	if cfg.HeartbeatMS > 0 {
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		go func() {
+			pid := os.Getpid()
+			t := time.NewTicker(time.Duration(cfg.HeartbeatMS) * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					hbmu.Lock()
+					ids := make([]int, 0, len(inflight))
+					for id := range inflight {
+						ids = append(ids, id)
+					}
+					hbmu.Unlock()
+					sort.Ints(ids)
+					var ms runtime.MemStats
+					runtime.ReadMemStats(&ms)
+					_ = send(Msg{Type: MsgHeartbeat, PID: pid, HB: &Heartbeat{
+						Inflight:   ids,
+						Executions: execDone.Load(),
+						Goroutines: runtime.NumGoroutine(),
+						HeapBytes:  ms.HeapAlloc,
+					}})
+				}
+			}
+		}()
+	}
+
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	var sendErr error
@@ -176,11 +219,22 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 			return fmt.Errorf("dist: worker: unexpected message %q", m.Type)
 		}
 		item := *m.Item
+		// Mark the item in flight at receipt — before the semaphore wait,
+		// so a saturated worker's heartbeats still name the items it is
+		// responsible for.
+		hbmu.Lock()
+		inflight[item.ID] = true
+		hbmu.Unlock()
 		sem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				hbmu.Lock()
+				delete(inflight, item.ID)
+				hbmu.Unlock()
+			}()
 			gen := testgen.New(schema)
 			if len(opts.Params) > 0 {
 				gen.SetFilter(opts.Params)
@@ -211,6 +265,7 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 				// (tracing must never fail the campaign).
 				res.Spans, _ = obs.ReadTrace(traceBuf)
 			}
+			execDone.Add(res.Executions)
 			if err := send(Msg{Type: MsgResult, Result: &res}); err != nil {
 				errOnce.Do(func() { sendErr = err })
 			}

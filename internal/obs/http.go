@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
@@ -15,32 +16,78 @@ var publishOnce sync.Once
 
 // ServeDebug starts an HTTP debug server on addr exposing:
 //
-//	/metrics     Prometheus text exposition of reg
-//	/debug/vars  expvar (including a zebraconf_metrics snapshot)
-//	/debug/pprof the standard pprof handlers
+//	/metrics       Prometheus text exposition of o.Metrics
+//	/api/campaign  live campaign snapshot (phase, counts, ETA)
+//	/api/workers   per-worker health (heartbeats, stalls, in-flight)
+//	/api/params    live unsafe-parameter verdict table
+//	/debug/vars    expvar (including a zebraconf_metrics snapshot)
+//	/debug/pprof   the standard pprof handlers
 //
-// It returns the bound listener address (useful with ":0") and a
-// shutdown function. The server is best-effort: handler errors are
+// The /api endpoints answer 503 until the observer carries a Status
+// tracker. It returns the bound listener address (useful with ":0") and
+// a shutdown function. The server is best-effort: handler errors are
 // dropped, and Serve runs on its own goroutine.
-func ServeDebug(addr string, reg *Registry) (string, func(), error) {
+func ServeDebug(addr string, o *Observer) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
+	var reg *Registry
+	if o != nil {
+		reg = o.Metrics
+	}
 
 	publishOnce.Do(func() {
 		expvar.Publish("zebraconf_metrics", expvar.Func(func() any {
+			if reg == nil {
+				return ""
+			}
 			var b strings.Builder
 			_ = reg.WritePrometheus(&b)
 			return b.String()
 		}))
 	})
 
+	apiJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
+	withStatus := func(render func() any) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			if o.Stat() == nil {
+				http.Error(w, `{"error":"live status tracking is not enabled"}`, http.StatusServiceUnavailable)
+				return
+			}
+			apiJSON(w, render())
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if reg == nil {
+			http.Error(w, "metrics registry not enabled", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WritePrometheus(w)
 	})
+	mux.HandleFunc("/api/campaign", withStatus(func() any { return o.Stat().Campaign() }))
+	mux.HandleFunc("/api/workers", withStatus(func() any {
+		ws := o.Stat().Workers()
+		if ws == nil {
+			ws = []WorkerStatus{}
+		}
+		return ws
+	}))
+	mux.HandleFunc("/api/params", withStatus(func() any {
+		ps := o.Stat().Params()
+		if ps == nil {
+			ps = []ParamStatus{}
+		}
+		return ps
+	}))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

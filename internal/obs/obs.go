@@ -1,10 +1,11 @@
 // Package obs is ZebraConf's observability layer: a dependency-free
 // metrics registry (atomic counters, gauges, histograms with Prometheus
-// text exposition), a structured JSONL span tracer, and a live progress
-// reporter. The campaign, runner, and harness layers call nil-safe
-// Observer methods on every hot path, so with observability disabled
-// (a nil *Observer) the instrumented code costs a nil check and nothing
-// else.
+// text exposition), a structured JSONL span tracer, a live progress
+// reporter, a flight-recorder event log, and a live status tracker
+// serving the /api endpoints. The campaign, runner, and harness layers
+// call nil-safe Observer methods on every hot path, so with
+// observability disabled (a nil *Observer) the instrumented code costs
+// a nil check and nothing else.
 package obs
 
 import "time"
@@ -98,6 +99,17 @@ const (
 	// MSteals counts work items stolen from another worker's shard.
 	// Labels: app.
 	MSteals = "zebraconf_dist_steals_total"
+	// MHeartbeats counts worker heartbeat messages received. Labels:
+	// app, worker.
+	MHeartbeats = "zebraconf_dist_worker_heartbeats_total"
+	// MMissedHeartbeats gauges consecutive heartbeat intervals a worker
+	// has been silent for (reset to 0 on every heartbeat). Labels: app,
+	// worker.
+	MMissedHeartbeats = "zebraconf_dist_worker_missed_heartbeats"
+	// MWorkerStalls counts workers crossing the stall threshold (silent
+	// past -stall-after without a heartbeat; advisory — the per-item
+	// deadline still governs kills). Labels: app, worker.
+	MWorkerStalls = "zebraconf_dist_worker_stalls_total"
 
 	// Adaptive scheduler catalog (internal/core/sched).
 
@@ -150,6 +162,10 @@ const (
 	// hit), reason=budget (campaign-wide -evidence-max exhausted, record
 	// degraded to verdict-only). Labels: app, reason.
 	MEvidenceTruncated = "zebraconf_evidence_truncated_total"
+
+	// MBuildInfo is the conventional constant-1 build-identity gauge.
+	// Labels: version, go.
+	MBuildInfo = "zebraconf_build_info"
 )
 
 // Bucket layouts for the catalog's histogram families.
@@ -184,13 +200,17 @@ func boundsFor(name string) []float64 {
 	}
 }
 
-// Observer bundles the three observability sinks. Any field may be nil;
+// Observer bundles the observability sinks. Any field may be nil;
 // every method is safe on a nil receiver, which is the "observability
 // off" configuration used by default throughout the codebase.
 type Observer struct {
 	Metrics  *Registry
 	Tracer   *Tracer
 	Progress *Progress
+	// Events is the campaign flight recorder (JSONL event log).
+	Events *EventLog
+	// Status is the live campaign state behind the /api endpoints.
+	Status *Status
 }
 
 // New returns an Observer with a live metrics registry and no tracer or
@@ -242,6 +262,45 @@ func (o *Observer) StartSpan(name string, parent SpanID, attrs ...Attr) *Span {
 	return o.Tracer.Start(name, parent, attrs...)
 }
 
+// Event appends one record to the flight-recorder event log.
+func (o *Observer) Event(event string, attrs ...Attr) {
+	if o == nil || o.Events == nil {
+		return
+	}
+	o.Events.Emit(event, attrs...)
+}
+
+// Stat exposes the live status tracker (nil when live status is off;
+// every *Status method is nil-safe, so callers chain unconditionally).
+func (o *Observer) Stat() *Status {
+	if o == nil {
+		return nil
+	}
+	return o.Status
+}
+
+// RecordCacheSaved accounts n unit-test executions avoided by the memo
+// cache: the MCacheSaved gauge plus the progress line and live status.
+func (o *Observer) RecordCacheSaved(app string, n int64) {
+	if o == nil {
+		return
+	}
+	o.GaugeAdd(MCacheSaved, n, "app", app)
+	o.Progress.AddSaved(n)
+	o.Status.AddSaved(n)
+}
+
+// RecordSpeculationWin accounts one speculative copy beating its
+// primary attempt.
+func (o *Observer) RecordSpeculationWin(app string) {
+	if o == nil {
+		return
+	}
+	o.CounterAdd(MSpeculationWins, 1, "app", app)
+	o.Progress.AddSpecWin(1)
+	o.Status.SpeculationWin()
+}
+
 // ProgressBegin starts the live progress reporter for one campaign.
 func (o *Observer) ProgressBegin(app string) {
 	if o == nil {
@@ -264,6 +323,7 @@ func (o *Observer) ProgressAddTotal(n int64) {
 		return
 	}
 	o.Progress.AddTotal(n)
+	o.Status.AddInstances(n)
 }
 
 // ProgressAddDone marks instances resolved in the progress numerator.
@@ -272,6 +332,7 @@ func (o *Observer) ProgressAddDone(n int64) {
 		return
 	}
 	o.Progress.AddDone(n)
+	o.Status.AddInstancesDone(n)
 }
 
 // ProgressAddExecutions counts unit-test executions for the progress
@@ -282,6 +343,7 @@ func (o *Observer) ProgressAddExecutions(n int64) {
 		return
 	}
 	o.Progress.AddExecutions(n)
+	o.Status.AddExecutions(n)
 }
 
 // RecordTestRun is the harness hook: one unit-test execution finished.
@@ -294,6 +356,7 @@ func (o *Observer) RecordTestRun(app, test string, failed, timedOut bool, d time
 		o.CounterAdd(MTimeouts, 1, "app", app, "test", test)
 	}
 	o.Progress.AddExecutions(1)
+	o.Status.AddExecutions(1)
 }
 
 // RecordExecution is the runner hook: one unit-test execution finished
@@ -319,4 +382,5 @@ func (o *Observer) RecordVerdict(app, verdict string, firstTrialSignal bool) {
 		o.CounterAdd(MFirstTrial, 1, "app", app)
 	}
 	o.Progress.AddVerdict(verdict)
+	o.Status.AddVerdict(verdict)
 }

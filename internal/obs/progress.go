@@ -24,6 +24,7 @@ type Progress struct {
 
 	total, finished, executions         atomic.Int64
 	safe, unsafe, filtered, homoInvalid atomic.Int64
+	saved, specWins                     atomic.Int64
 }
 
 // NewProgress returns a reporter writing to w every interval (default
@@ -45,7 +46,8 @@ func (p *Progress) Begin(app string) {
 	p.app = app
 	p.start = time.Now()
 	for _, c := range []*atomic.Int64{&p.total, &p.finished, &p.executions,
-		&p.safe, &p.unsafe, &p.filtered, &p.homoInvalid} {
+		&p.safe, &p.unsafe, &p.filtered, &p.homoInvalid,
+		&p.saved, &p.specWins} {
 		c.Store(0)
 	}
 	p.stop = make(chan struct{})
@@ -97,8 +99,14 @@ func (p *Progress) render(final bool) {
 	if final {
 		tag = "done"
 	}
-	fmt.Fprintf(p.w, "[zebraconf %s] %d/%d instances · %d execs (%.1f/s) · safe=%d unsafe=%d filtered=%d homo-invalid=%d · %.1fs %s\n",
+	saved := p.saved.Load()
+	hitRate := 0.0
+	if saved+execs > 0 {
+		hitRate = 100 * float64(saved) / float64(saved+execs)
+	}
+	fmt.Fprintf(p.w, "[zebraconf %s] %d/%d instances · %d execs (%.1f/s) · cache %.1f%% (%d saved) · spec-wins=%d · safe=%d unsafe=%d filtered=%d homo-invalid=%d · %.1fs %s\n",
 		app, p.finished.Load(), p.total.Load(), execs, float64(execs)/elapsed,
+		hitRate, saved, p.specWins.Load(),
 		p.safe.Load(), p.unsafe.Load(), p.filtered.Load(), p.homoInvalid.Load(),
 		elapsed, tag)
 }
@@ -126,6 +134,23 @@ func (p *Progress) AddExecutions(n int64) {
 		return
 	}
 	p.executions.Add(n)
+}
+
+// AddSaved counts unit-test executions avoided by the memo cache, for
+// the cache-hit-rate display.
+func (p *Progress) AddSaved(n int64) {
+	if p == nil {
+		return
+	}
+	p.saved.Add(n)
+}
+
+// AddSpecWin counts speculative copies that beat their primary attempt.
+func (p *Progress) AddSpecWin(n int64) {
+	if p == nil {
+		return
+	}
+	p.specWins.Add(n)
 }
 
 // AddVerdict tallies one instance verdict by its String name.

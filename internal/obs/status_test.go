@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// TestStatusETACalibration checks the ETA walk: completing one item at
+// 2x its prediction calibrates the remaining items' estimates, which
+// divide across the slot count.
+func TestStatusETACalibration(t *testing.T) {
+	s := NewStatus()
+	s.CampaignBegin("fake", 2)
+	for i := 0; i < 4; i++ {
+		s.ItemQueued(i, "TestX", 10)
+	}
+	s.ItemStart(0)
+	s.ItemDone(0, 20) // actual/predicted = 2.0
+
+	cs := s.Campaign()
+	if cs.ItemsDone != 1 || cs.ItemsQueued != 3 {
+		t.Fatalf("items: done=%d queued=%d", cs.ItemsDone, cs.ItemsQueued)
+	}
+	// 3 queued x 10s predicted x 2.0 calibration = 60s over 2 slots.
+	if math.Abs(cs.EtaSeconds-30) > 0.01 {
+		t.Fatalf("ETA %.2fs, want 30s", cs.EtaSeconds)
+	}
+	if cs.Phase != "starting" {
+		t.Fatalf("phase %q, want starting", cs.Phase)
+	}
+}
+
+// TestStatusETAFallback: with no predictions, the mean completed
+// duration stands in.
+func TestStatusETAFallback(t *testing.T) {
+	s := NewStatus()
+	s.CampaignBegin("fake", 1)
+	s.ItemQueued(0, "TestA", 0)
+	s.ItemQueued(1, "TestB", 0)
+	s.ItemStart(0)
+	s.ItemDone(0, 4)
+	cs := s.Campaign()
+	if math.Abs(cs.EtaSeconds-4) > 0.01 {
+		t.Fatalf("ETA %.2fs, want 4s (mean duration fallback)", cs.EtaSeconds)
+	}
+	// Slots clamp to unfinished work: 1 queued item, 8 slots, same ETA.
+	s.SetSlots(8)
+	cs = s.Campaign()
+	if math.Abs(cs.EtaSeconds-4) > 0.01 {
+		t.Fatalf("ETA %.2fs after SetSlots(8), want 4s", cs.EtaSeconds)
+	}
+}
+
+// TestStatusItemLifecycle covers idempotence: duplicate completions
+// (speculation losers) and re-marking running items must not double
+// count, and requeued items return to the queue.
+func TestStatusItemLifecycle(t *testing.T) {
+	s := NewStatus()
+	s.CampaignBegin("fake", 1)
+	s.ItemQueued(0, "TestA", 1)
+	s.ItemStart(0)
+	s.ItemStart(0) // speculative duplicate
+	s.ItemDone(0, 2)
+	s.ItemDone(0, 2) // loser's duplicate
+	cs := s.Campaign()
+	if cs.ItemsDone != 1 {
+		t.Fatalf("items done %d, want 1", cs.ItemsDone)
+	}
+
+	s.ItemQueued(1, "TestB", 1)
+	s.ItemStart(1)
+	s.ItemRequeued(1)
+	cs = s.Campaign()
+	if cs.ItemsQueued != 1 || cs.ItemsRunning != 0 {
+		t.Fatalf("after requeue: queued=%d running=%d", cs.ItemsQueued, cs.ItemsRunning)
+	}
+}
+
+// TestStatusWorkers covers the heartbeat-driven state machine.
+func TestStatusWorkers(t *testing.T) {
+	s := NewStatus()
+	s.CampaignBegin("fake", 2)
+	s.WorkerSpawned(0, 100)
+	s.WorkerHeartbeat(0, 100, []int{3}, 17, 9, 1<<20)
+	s.WorkerStalled(0)
+	s.WorkerRecovered(0)
+	s.WorkerSpawned(1, 101)
+	s.WorkerGone(1, "crash")
+
+	ws := s.Workers()
+	if len(ws) != 2 {
+		t.Fatalf("got %d workers", len(ws))
+	}
+	w0 := ws[0]
+	if w0.State != "ready" || w0.Stalls != 1 || w0.Executions != 17 || w0.LastHeartbeatS < 0 {
+		t.Fatalf("worker 0: %+v", w0)
+	}
+	if len(w0.Inflight) != 1 || w0.Inflight[0] != 3 {
+		t.Fatalf("worker 0 inflight: %v", w0.Inflight)
+	}
+	if ws[1].State != "crashed" {
+		t.Fatalf("worker 1 state %q", ws[1].State)
+	}
+	// Recovery only applies to stalled workers, not crashed ones.
+	s.WorkerRecovered(1)
+	if got := s.Workers()[1].State; got != "crashed" {
+		t.Fatalf("worker 1 after bogus recover: %q", got)
+	}
+}
+
+// TestStatusParams covers the live verdict table.
+func TestStatusParams(t *testing.T) {
+	s := NewStatus()
+	s.CampaignBegin("fake", 1)
+	s.ParamVerdict("b.param", "TestX", 0.25)
+	s.ParamVerdict("b.param", "TestY", 0.0625)
+	s.ParamVerdict("a.param", "TestX", 0.125)
+	s.ParamQuarantined("b.param")
+
+	ps := s.Params()
+	if len(ps) != 2 || ps[0].Param != "a.param" || ps[1].Param != "b.param" {
+		t.Fatalf("params: %+v", ps)
+	}
+	b := ps[1]
+	if b.UnsafeVerdicts != 2 || b.MinP != 0.0625 || !b.Quarantined || len(b.Tests) != 2 {
+		t.Fatalf("b.param row: %+v", b)
+	}
+}
+
+// TestServeDebugStatusAPI starts the debug server with a live status
+// tracker and reads the three endpoints over real HTTP.
+func TestServeDebugStatusAPI(t *testing.T) {
+	o := New()
+	o.Status = NewStatus()
+	o.Status.CampaignBegin("minihdfs", 2)
+	o.Status.PhaseStart("instances")
+	o.Status.ItemQueued(0, "TestWriteRead", 5)
+	o.Status.WorkerSpawned(0, 4242)
+	o.Status.ParamVerdict("dfs.checksum.type", "TestWriteRead", 0.0625)
+
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	var cs CampaignStatus
+	getJSON(t, "http://"+addr+"/api/campaign", &cs)
+	if cs.App != "minihdfs" || cs.Phase != "instances" || cs.ItemsQueued != 1 {
+		t.Fatalf("campaign snapshot: %+v", cs)
+	}
+	if cs.EtaSeconds <= 0 {
+		t.Fatalf("ETA %.2f, want > 0", cs.EtaSeconds)
+	}
+
+	var ws []WorkerStatus
+	getJSON(t, "http://"+addr+"/api/workers", &ws)
+	if len(ws) != 1 || ws[0].PID != 4242 {
+		t.Fatalf("workers: %+v", ws)
+	}
+
+	var ps []ParamStatus
+	getJSON(t, "http://"+addr+"/api/params", &ps)
+	if len(ps) != 1 || ps[0].Param != "dfs.checksum.type" {
+		t.Fatalf("params: %+v", ps)
+	}
+}
+
+// TestServeDebugStatusDisabled: without a status tracker the API
+// answers 503, not 200-with-garbage and not a panic.
+func TestServeDebugStatusDisabled(t *testing.T) {
+	o := New()
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/api/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("%s: decode: %v", url, err)
+	}
+}
