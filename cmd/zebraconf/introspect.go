@@ -1,11 +1,9 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime/debug"
-	"sort"
 	"time"
 
 	"zebraconf/internal/core/campaign"
@@ -24,45 +22,7 @@ func buildVersion() string {
 
 // ledgerRecord summarizes one finished campaign as a run-ledger entry.
 func ledgerRecord(res *campaign.Result, seed int64, start time.Time, workers int, flags map[string]string) ledger.Record {
-	names := make([]string, 0, len(res.Reported))
-	lines := make([]string, 0, len(res.Reported))
-	var evRecords int
-	var evBytes int64
-	for _, p := range res.Reported {
-		names = append(names, p.Param)
-		lines = append(lines, p.Param+"\x00"+p.Truth.String())
-		if p.Evidence != nil {
-			evRecords++
-			if b, err := json.Marshal(p.Evidence); err == nil {
-				evBytes += int64(len(b))
-			}
-		}
-	}
-	sort.Strings(names)
-	return ledger.Record{
-		RunID:            ledger.NewRunID(res.App, seed, start, os.Getpid()),
-		Start:            start.UTC().Format(time.RFC3339),
-		App:              res.App,
-		Seed:             seed,
-		Flags:            flags,
-		FlagsDigest:      ledger.DigestFlags(flags),
-		Reported:         names,
-		ReportedDigest:   ledger.DigestReported(lines),
-		Tests:            res.NumTests,
-		Params:           res.NumParams,
-		TruePositives:    res.TruePositives,
-		FalsePositives:   res.FalsePositives,
-		Missed:           len(res.Missed),
-		Executions:       res.Counts.Executed,
-		ExecutionsSaved:  res.Counts.ExecutionsSaved,
-		MakespanSeconds:  res.Elapsed.Seconds(),
-		Workers:          workers,
-		WorkerStalls:     res.WorkerStalls,
-		SkippedTests:     len(res.SkippedTests),
-		QuarantinedItems: len(res.QuarantinedItems),
-		EvidenceRecords:  evRecords,
-		EvidenceBytes:    evBytes,
-	}
+	return ledger.Summarize(res, seed, start, workers, flags)
 }
 
 // runDiff implements -mode diff: compare two ledger records and report

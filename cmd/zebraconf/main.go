@@ -14,6 +14,11 @@
 //	zebraconf -mode run -app minihdfs -http :6060 -events /tmp/e.jsonl -ledger /tmp/runs
 //	zebraconf -mode watch -http-addr :6060            # live terminal dashboard
 //	zebraconf -mode diff -ledger /tmp/runs -app minihdfs
+//	zebraconf -mode serve -listen :8080 -worker-listen :9090 -token s3cret -state /var/lib/zebraconf
+//	zebraconf -worker -connect host:9090 -token s3cret          # TCP worker joins the service
+//	zebraconf -mode submit -server http://host:8080 -token s3cret -app minihdfs -workers 2
+//	zebraconf -mode watch -server http://host:8080 -token s3cret -campaign c0001
+//	zebraconf -mode cancel -server http://host:8080 -token s3cret -campaign c0001
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/dist"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
@@ -38,12 +44,13 @@ import (
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
+	"zebraconf/internal/core/server"
 	"zebraconf/internal/obs"
 )
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run | explain | watch | diff | suggest-deps")
+		mode       = flag.String("mode", "run", "stats | run | explain | watch | diff | suggest-deps | serve | submit | cancel")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
@@ -88,6 +95,19 @@ func main() {
 		httpTarget = flag.String("http-addr", "", "with -mode watch: the -http address of the running campaign to poll")
 		watchEvery = flag.Duration("watch-interval", time.Second, "with -mode watch: poll interval")
 		diffRuns   = flag.String("diff-runs", "", "with -mode diff: two comma-separated run IDs (or unique prefixes) to compare instead of the app's last two")
+
+		// Campaign service (internal/core/server) and the persistent
+		// execution cache (internal/core/diskcache).
+		serverURL    = flag.String("server", "", "campaign service URL for -mode submit|watch|cancel (e.g. http://host:8080)")
+		campaignID   = flag.String("campaign", "", "campaign ID for -mode watch|cancel with -server")
+		tokenFlag    = flag.String("token", "", "shared bearer token: -mode serve requires it from clients and workers; submit/watch/cancel and -worker -connect send it")
+		listenAddr   = flag.String("listen", ":8080", "with -mode serve: REST API listen address")
+		workerListen = flag.String("worker-listen", ":9090", "with -mode serve: TCP worker gateway listen address")
+		stateDir     = flag.String("state", "zebraconf-state", "with -mode serve: persistent state directory (disk cache, run ledger, duration profile, per-campaign journals)")
+		connectAddr  = flag.String("connect", "", "with -worker: connect to a campaign service's worker gateway at host:port instead of speaking NDJSON on stdio")
+		diskCache    = flag.String("disk-cache", "", "content-addressed disk execution cache directory, shared across runs (-mode serve always uses <state>/cache)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "disk cache size cap in bytes before LRU eviction (0 = 256 MiB)")
+		waitDone     = flag.Bool("wait", false, "with -mode submit: block until the campaign reaches a terminal state, exit nonzero unless done")
 	)
 	flag.Parse()
 
@@ -103,9 +123,24 @@ func main() {
 	}()
 
 	if *workerMode {
+		if *connectAddr != "" {
+			// TCP worker: dial the service's gateway and serve campaigns
+			// over the same NDJSON protocol, reconnecting between them.
+			err := dist.ConnectWorker(*connectAddr, dist.ConnectOptions{
+				Token: *tokenFlag,
+				Env:   dist.WorkerEnv{DiskCacheDir: *diskCache, DiskCacheMaxBytes: *cacheMax},
+				Logw:  os.Stderr,
+			}, apps.ByName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zebraconf worker:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		out := bufio.NewWriter(os.Stdout)
 		defer out.Flush()
-		if err := dist.ServeWorker(os.Stdin, out, apps.ByName); err != nil {
+		env := dist.WorkerEnv{DiskCacheDir: *diskCache, DiskCacheMaxBytes: *cacheMax}
+		if err := dist.ServeWorkerEnv(os.Stdin, out, apps.ByName, env); err != nil {
 			fmt.Fprintln(os.Stderr, "zebraconf worker:", err)
 			os.Exit(1)
 		}
@@ -117,10 +152,44 @@ func main() {
 	// anything, so they return before the observer machinery assembles.
 	switch *mode {
 	case "watch":
-		exitCode = runWatch(*httpTarget, *watchEvery)
+		if *serverURL != "" {
+			exitCode = runWatchServer(*serverURL, *tokenFlag, *campaignID, *watchEvery)
+		} else {
+			exitCode = runWatch(*httpTarget, *watchEvery)
+		}
 		return
 	case "diff":
 		exitCode = runDiff(*ledgerDir, *appName, *diffRuns)
+		return
+	case "serve":
+		exitCode = runServe(*listenAddr, *workerListen, *tokenFlag, *stateDir, *cacheMax)
+		return
+	case "submit":
+		req := server.SubmitRequest{
+			App:                *appName,
+			Params:             splitList(*params),
+			Tests:              splitList(*tests),
+			Seed:               *seed,
+			Workers:            *workers,
+			Parallel:           *parallel,
+			WorkerParallel:     *workerParallel,
+			MaxPool:            *maxPool,
+			NoPool:             *noPool,
+			NoGate:             *noGate,
+			ExecCache:          execCache,
+			Sched:              *schedFlag,
+			Stream:             stream,
+			Speculate:          speculate,
+			Quarantine:         quarantine,
+			EvidenceMax:        evidenceMax,
+			ItemTimeoutSeconds: itemTimeout.Seconds(),
+			ItemRetries:        itemRetries,
+			HeartbeatMS:        int(heartbeat.Milliseconds()),
+		}
+		exitCode = runSubmit(*serverURL, *tokenFlag, req, *waitDone, *watchEvery)
+		return
+	case "cancel":
+		exitCode = runCancelCampaign(*serverURL, *tokenFlag, *campaignID)
 		return
 	}
 
@@ -274,6 +343,19 @@ func main() {
 		if *threadOnly {
 			opts.Strategy = agent.StrategyThreadOnly
 		}
+		// The persistent disk cache backs the in-process memo cache and,
+		// with -workers, is served to workers through the coordinator's
+		// shared tier and opened locally by each subprocess worker.
+		var diskStore *diskcache.Store
+		if *diskCache != "" && *execCache {
+			store, err := diskcache.Open(*diskCache, *cacheMax, nil, observer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "zebraconf: opening disk cache:", err)
+				os.Exit(1)
+			}
+			diskStore = store
+			opts.CacheBackend = store
+		}
 		var workerExe string
 		if *workers > 0 {
 			if len(selected) > 1 && (*checkpoint != "" || *resume != "") {
@@ -343,6 +425,10 @@ func main() {
 				// own item spans so the file renders as one tree.
 				cfg.TraceItems = *traceOut != ""
 				cfg.HeartbeatMS = int(heartbeat.Milliseconds())
+				if diskStore != nil {
+					cfg.DiskCacheDir = *diskCache
+					cfg.DiskCacheMaxBytes = *cacheMax
+				}
 				cfg.Parallel = *workerParallel
 				if cfg.Parallel <= 0 {
 					// Split the in-process concurrency budget across the
@@ -355,7 +441,7 @@ func main() {
 					}
 					cfg.Parallel = (total + *workers - 1) / *workers
 				}
-				coord := dist.New(dist.Options{
+				distOpts := dist.Options{
 					App:                 app.Name,
 					Workers:             *workers,
 					WorkerCmd:           func() *exec.Cmd { return exec.Command(workerExe, "-worker") },
@@ -370,7 +456,11 @@ func main() {
 					QuarantineThreshold: quarThreshold,
 					Obs:                 observer,
 					Stderr:              os.Stderr,
-				})
+				}
+				if diskStore != nil {
+					distOpts.SharedBackend = diskStore
+				}
+				coord := dist.New(distOpts)
 				adapter = &distAdapter{coord: coord}
 				appOpts.Distributor = adapter
 			}

@@ -53,6 +53,12 @@ type Options struct {
 	// Seeds are canonical either way, so the reported parameter set is
 	// identical with the cache on or off.
 	DisableExecCache bool
+	// CacheBackend, when non-nil (and the cache enabled), backs this
+	// campaign's in-process memo cache with a second tier — typically
+	// the persistent cross-campaign disk store. A backend hit can only
+	// replay a byte-identical execution, so the reported set is
+	// unaffected; a warm backend just skips the work.
+	CacheBackend memo.Backend
 	// Significance and MaxRounds pass through to the TestRunner.
 	Significance float64
 	MaxRounds    int
@@ -234,7 +240,7 @@ func Run(app *harness.App, opts Options) *Result {
 	// (backed by the coordinator's shared cache).
 	var cache *memo.Cache
 	if !opts.DisableExecCache {
-		cache = memo.NewCache(app.Name, nil, opts.Obs)
+		cache = memo.NewCache(app.Name, opts.CacheBackend, opts.Obs)
 	}
 	run := runner.New(app, runner.Options{
 		Significance: opts.Significance,
@@ -244,6 +250,10 @@ func Run(app *harness.App, opts Options) *Result {
 		BaseSeed:     opts.Seed,
 		Obs:          opts.Obs,
 		Cache:        cache,
+		// A backend means the cache outlives this campaign (disk store,
+		// server tier), so label-seeded trials are worth memoizing too:
+		// they only ever hit on resubmission of an unchanged campaign.
+		CacheLabelSeeded: opts.CacheBackend != nil,
 		Evidence:     forensics.NewRecorder(app.Name, opts.EvidenceMax, opts.Obs),
 	})
 

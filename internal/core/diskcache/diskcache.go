@@ -1,0 +1,321 @@
+// Package diskcache is ZebraConf's persistent execution store: a
+// content-addressed, disk-backed memo.Backend shared *across*
+// campaigns. The in-process memo cache (PR 3) dies with the process and
+// the coordinator-shared tier dies with the campaign; this tier is a
+// build-cache for trials — a repeat campaign on an unchanged app finds
+// nearly every canonically-seeded execution already on disk and is
+// nearly free.
+//
+// Layout: one JSON file per entry in a flat directory, named by the
+// SHA-256 of the memo key, written via temp-file + atomic rename so a
+// reader never observes a torn entry. Every read re-verifies that the
+// stored key equals the requested one (a hash collision or corrupted
+// file must degrade to a miss, never a wrong verdict); entries that
+// fail to parse or verify are deleted on sight. The store is size
+// capped with LRU eviction ordered by last-hit time.
+//
+// Stores compose: Open takes an optional next Backend, forming the
+// memory → disk → coordinator lookup hierarchy. A disk miss consults
+// next and writes a hit through, so remote results persist locally.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zebraconf/internal/core/memo"
+	"zebraconf/internal/obs"
+)
+
+// DefaultMaxBytes caps the store at 256 MiB when no cap is given —
+// roughly two orders of magnitude above a full five-app campaign's
+// entry volume, so eviction only matters under long-lived service use.
+const DefaultMaxBytes = 256 << 20
+
+// Stats is a point-in-time counter snapshot, served by the campaign
+// server's /api/status endpoint.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	Corrupt   int64 `json:"corrupt"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Store implements memo.Backend over a directory of entry files.
+// Safe for concurrent use by multiple goroutines; concurrent *processes*
+// sharing a directory are safe too (atomic renames, re-verified reads),
+// though each process evicts against its own view of the size.
+type Store struct {
+	dir  string
+	max  int64
+	next memo.Backend
+	o    *obs.Observer
+
+	hits, misses, writes, evictions, corrupt atomic.Int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // file name -> index entry
+	total   int64             // sum of entry sizes
+	clock   int64             // logical LRU clock, bumped per touch
+}
+
+type entry struct {
+	size  int64
+	atime int64 // logical last-touch time (clock value)
+}
+
+// fileEntry is the on-disk record. The key is stored alongside the
+// result precisely so Get can verify it: the file name is a hash, and
+// trusting a hash alone would convert corruption into wrong verdicts.
+type fileEntry struct {
+	Key     memo.Key    `json:"key"`
+	Result  memo.Result `json:"result"`
+	Created int64       `json:"created_unix"`
+}
+
+// Open loads (or creates) a store at dir. maxBytes <= 0 selects
+// DefaultMaxBytes. next, when non-nil, is consulted on disk misses and
+// written through on its hits. o may be nil.
+func Open(dir string, maxBytes int64, next memo.Backend, o *obs.Observer) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	s := &Store{dir: dir, max: maxBytes, next: next, o: o, entries: make(map[string]*entry)}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	type aged struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var found []aged
+	for _, de := range des {
+		name := de.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			// Leftover from a crashed writer; never renamed, never valid.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, aged{name, info.Size(), info.ModTime()})
+	}
+	// Seed the LRU order from mtimes so a reopened store evicts oldest
+	// entries first instead of directory order.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, f := range found {
+		s.clock++
+		s.entries[f.name] = &entry{size: f.size, atime: s.clock}
+		s.total += f.size
+	}
+	s.evictLocked("")
+	s.gaugesLocked()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryName derives the file name for a key: SHA-256 over the canonical
+// key fields. Assign is already a collision-resistant digest, but
+// hashing the full key keeps names fixed-length and filesystem-safe for
+// arbitrary app/test names.
+func entryName(k memo.Key) string {
+	h := sha256.New()
+	h.Write([]byte(k.App))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Test))
+	h.Write([]byte{0})
+	h.Write([]byte(k.Assign))
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "%d", k.Seed)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16]) + ".json"
+}
+
+// Get implements memo.Backend. Every failure mode — missing file,
+// unparseable JSON, stored key not matching the requested one — is a
+// miss; corrupt files are additionally deleted so they stop costing a
+// read. A miss falls through to next (when configured) and its hit is
+// written through to disk.
+func (s *Store) Get(k memo.Key) (memo.Result, bool) {
+	name := entryName(k)
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var fe fileEntry
+		if jsonErr := json.Unmarshal(data, &fe); jsonErr == nil && fe.Key == k {
+			s.touch(name, int64(len(data)))
+			s.hits.Add(1)
+			s.o.CounterAdd(obs.MDiskCacheHits, 1)
+			if age := time.Since(time.Unix(fe.Created, 0)).Seconds(); fe.Created > 0 && age >= 0 {
+				s.o.Observe(obs.MDiskCacheHitAge, age)
+			}
+			return fe.Result, true
+		}
+		// Truncated, garbage, or a key mismatch: evict the file and
+		// fall through to a miss. Never serve a result we can't verify.
+		s.removeEntry(name)
+		s.corrupt.Add(1)
+		s.o.CounterAdd(obs.MDiskCacheCorrupt, 1)
+	}
+	s.misses.Add(1)
+	s.o.CounterAdd(obs.MDiskCacheMisses, 1)
+	if s.next != nil {
+		if res, ok := s.next.Get(k); ok {
+			s.write(k, res)
+			return res, true
+		}
+	}
+	return memo.Result{}, false
+}
+
+// Put implements memo.Backend: persist locally, then forward so upper
+// tiers (the coordinator-shared cache) learn the result too.
+func (s *Store) Put(k memo.Key, res memo.Result) {
+	s.write(k, res)
+	if s.next != nil {
+		s.next.Put(k, res)
+	}
+}
+
+// write persists one entry via temp file + atomic rename and applies
+// LRU eviction under the size cap. Write failures are swallowed: the
+// disk tier degrades to a smaller (or empty) cache, never an error.
+func (s *Store) write(k memo.Key, res memo.Result) {
+	name := entryName(k)
+	s.mu.Lock()
+	_, exists := s.entries[name]
+	s.mu.Unlock()
+	if exists {
+		// Entries are immutable (seeded-deterministic executions), so a
+		// rewrite could only produce the same bytes.
+		return
+	}
+	data, err := json.Marshal(fileEntry{Key: k, Result: res, Created: time.Now().Unix()})
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	s.writes.Add(1)
+	s.o.CounterAdd(obs.MDiskCacheWrites, 1)
+	s.mu.Lock()
+	if _, dup := s.entries[name]; !dup {
+		s.clock++
+		s.entries[name] = &entry{size: int64(len(data)), atime: s.clock}
+		s.total += int64(len(data))
+	}
+	s.evictLocked(name)
+	s.gaugesLocked()
+	s.mu.Unlock()
+}
+
+// evictLocked drops least-recently-hit entries until the store fits the
+// cap. keep (the just-written entry, when set) is never evicted: a cap
+// smaller than one entry should hold that entry, not thrash.
+func (s *Store) evictLocked(keep string) {
+	for s.total > s.max {
+		victim, oldest := "", int64(0)
+		for name, e := range s.entries {
+			if name == keep {
+				continue
+			}
+			if victim == "" || e.atime < oldest {
+				victim, oldest = name, e.atime
+			}
+		}
+		if victim == "" {
+			return
+		}
+		s.total -= s.entries[victim].size
+		delete(s.entries, victim)
+		os.Remove(filepath.Join(s.dir, victim))
+		s.evictions.Add(1)
+		s.o.CounterAdd(obs.MDiskCacheEvictions, 1)
+	}
+}
+
+// touch refreshes an entry's LRU position after a hit, adopting it into
+// the index if another process (or a pre-Open writer) created it.
+func (s *Store) touch(name string, size int64) {
+	s.mu.Lock()
+	s.clock++
+	if e, ok := s.entries[name]; ok {
+		e.atime = s.clock
+	} else {
+		s.entries[name] = &entry{size: size, atime: s.clock}
+		s.total += size
+		s.evictLocked(name)
+	}
+	s.gaugesLocked()
+	s.mu.Unlock()
+}
+
+// removeEntry deletes a corrupt entry's file and index row.
+func (s *Store) removeEntry(name string) {
+	os.Remove(filepath.Join(s.dir, name))
+	s.mu.Lock()
+	if e, ok := s.entries[name]; ok {
+		s.total -= e.size
+		delete(s.entries, name)
+	}
+	s.gaugesLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) gaugesLocked() {
+	s.o.GaugeSet(obs.MDiskCacheBytes, s.total)
+	s.o.GaugeSet(obs.MDiskCacheEntries, int64(len(s.entries)))
+}
+
+// Stats snapshots the store's counters and size.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	n, b := len(s.entries), s.total
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Writes:    s.writes.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Entries:   n,
+		Bytes:     b,
+	}
+}

@@ -47,6 +47,13 @@ type Options struct {
 	// WorkerCmd builds the command for one worker subprocess, typically
 	// `os.Executable() -worker`. Called again for every respawn.
 	WorkerCmd func() *exec.Cmd
+	// Sessions, when non-nil, supplies already-connected worker sessions
+	// (the TCP gateway) instead of spawning subprocesses; WorkerCmd is
+	// then ignored. Each slot blocks in Acquire until a networked worker
+	// is available, and a worker lost mid-session is replaced by the
+	// next one to connect — the crash/retry/quarantine paths are
+	// identical to the subprocess transport.
+	Sessions *Gateway
 	// Config is the campaign configuration shipped to every worker.
 	Config Config
 	// CheckpointPath, when set, journals every completed item so a later
@@ -86,6 +93,13 @@ type Options struct {
 	// interval. Irrelevant when Config.HeartbeatMS is zero: a worker
 	// that never heartbeats (and legacy test fakes) is never stalled.
 	StallAfter time.Duration
+	// SharedBackend, when non-nil, backs the coordinator-side shared
+	// execution cache with a second, typically persistent, tier (the
+	// disk store): worker lookups that miss the in-memory map fall
+	// through to it, and worker publishes write through — completing the
+	// memory → disk hierarchy on the coordinator side of the wire.
+	// Ignored while the shared cache itself is disabled.
+	SharedBackend memo.Backend
 	// Obs receives the coordinator's metrics, spans, and the progress /
 	// verdict replay of worker results. Nil disables observability.
 	Obs *obs.Observer
@@ -122,8 +136,8 @@ func (c *Coordinator) Execute(parent obs.SpanID, items []campaign.WorkItem) ([]c
 // moment its pre-run finishes. Checkpoint/resume state loads here, so
 // Submit can skip already-completed items.
 func (c *Coordinator) Start(parent obs.SpanID, total int) (*Run, error) {
-	if c.opts.WorkerCmd == nil {
-		return nil, errors.New("dist: Coordinator requires WorkerCmd")
+	if c.opts.WorkerCmd == nil && c.opts.Sessions == nil {
+		return nil, errors.New("dist: Coordinator requires WorkerCmd or Sessions")
 	}
 	workers := c.opts.Workers
 	if workers <= 0 {
@@ -298,6 +312,22 @@ func (r *Run) Submit(item campaign.WorkItem) {
 // time; final after Drain.
 func (r *Run) Stalls() int64 { return r.stalls.Load() }
 
+// Abort halts the run early: sessions stop dispatching, inflight items
+// are abandoned, and Drain returns the results accumulated so far
+// without error (the same partial-result semantics as the MaxItems
+// halt). Safe to call at any time, from any goroutine, more than once.
+// Used by the campaign server to cancel a running submitted campaign.
+func (r *Run) Abort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.halted = true
+	close(r.doneCh)
+}
+
 // Drain blocks until every pending item resolves (or the run halts, or
 // every worker slot is lost) and returns one ItemResult per completed
 // item — including items replayed from ResumePath and items quarantined
@@ -406,16 +436,27 @@ const (
 	sessSpawnFail                       // worker never became ready; counts toward slot death
 )
 
-// supervise owns one worker slot: spawn, run a session, respawn on crash,
-// retire the slot after spawnFailureLimit consecutive failed launches.
+// supervise owns one worker slot: obtain a session (spawn a subprocess,
+// or wait for a gateway worker), run it, replace it on crash, retire
+// the slot after spawnFailureLimit consecutive failed launches.
 func (r *Run) supervise(slot int) {
 	fails := 0
 	for {
 		if r.stopped() {
 			return
 		}
-		sess, err := r.spawn(slot)
+		sess, err := r.obtain(slot)
 		if err != nil {
+			if errors.Is(err, errGatewayClosed) {
+				// No networked worker will ever come; retire the slot
+				// (failing the run if it was the last with work left).
+				r.noteFailure(err.Error())
+				r.slotDied()
+				return
+			}
+			if r.stopped() {
+				return
+			}
 			r.o.CounterAdd(obs.MWorkerCrashes, 1, "app", r.opts.App, "reason", "spawn")
 			r.noteFailure(err.Error())
 			fails++
@@ -833,7 +874,10 @@ func (r *Run) maybeSpeculate(slot int) (campaign.WorkItem, bool) {
 	return best.item, true
 }
 
-// cacheGet serves one worker lookup from the shared execution cache.
+// cacheGet serves one worker lookup from the shared execution cache:
+// the in-memory map first, then the persistent SharedBackend tier (with
+// a memory fill on its hits, so a key is read from disk at most once
+// per run).
 func (r *Run) cacheGet(k memo.Key) (memo.Result, bool) {
 	if r.sharedCache == nil {
 		return memo.Result{}, false
@@ -841,6 +885,15 @@ func (r *Run) cacheGet(k memo.Key) (memo.Result, bool) {
 	r.cacheMu.Lock()
 	res, ok := r.sharedCache[k]
 	r.cacheMu.Unlock()
+	if !ok && r.opts.SharedBackend != nil {
+		if res, ok = r.opts.SharedBackend.Get(k); ok {
+			r.cacheMu.Lock()
+			if _, dup := r.sharedCache[k]; !dup {
+				r.sharedCache[k] = res
+			}
+			r.cacheMu.Unlock()
+		}
+	}
 	if ok {
 		r.o.CounterAdd(obs.MCacheHits, 1, "app", r.opts.App, "scope", "shared")
 	} else {
@@ -849,18 +902,23 @@ func (r *Run) cacheGet(k memo.Key) (memo.Result, bool) {
 	return res, ok
 }
 
-// cachePut stores one worker-published result. First write wins: the
-// harness is seeded-deterministic, so concurrent publishers for one key
-// carry identical results anyway.
+// cachePut stores one worker-published result, writing through to the
+// persistent tier when configured. First write wins: the harness is
+// seeded-deterministic, so concurrent publishers for one key carry
+// identical results anyway.
 func (r *Run) cachePut(k memo.Key, res memo.Result) {
 	if r.sharedCache == nil {
 		return
 	}
 	r.cacheMu.Lock()
-	if _, ok := r.sharedCache[k]; !ok {
+	_, dup := r.sharedCache[k]
+	if !dup {
 		r.sharedCache[k] = res
 	}
 	r.cacheMu.Unlock()
+	if !dup && r.opts.SharedBackend != nil {
+		r.opts.SharedBackend.Put(k, res)
+	}
 }
 
 // stitchSpans folds a worker's trace fragment under the coordinator's
@@ -1142,17 +1200,63 @@ func (r *Run) slotDied() {
 	close(r.doneCh)
 }
 
-// workerSession is one live worker subprocess as seen by the coordinator.
+// workerSession is one live worker as seen by the coordinator. The
+// transport is abstracted behind w/teardown/reap: a subprocess worker
+// writes to its stdin and tears down by closing the pipe and killing
+// the process; a networked (gateway) worker writes to its TCP
+// connection and tears down by closing it — everything above (the
+// session loop, retries, quarantine, heartbeats) is transport-blind.
 type workerSession struct {
-	cmd        *exec.Cmd
-	stdin      io.WriteCloser
+	w          io.Writer
 	msgs       chan Msg
 	readerDone chan struct{}
 	killOnce   sync.Once
 	sendMu     sync.Mutex
+	// pid is the worker's self-reported process ID (from the TCP hello;
+	// subprocess sessions know it from exec). Zero when unknown.
+	pid int
+	// remote is the peer address of a networked session, "" for pipes.
+	remote string
+	// teardown closes the transport (unblocking readLoop); reap, when
+	// non-nil, waits for transport resources after the reader drains
+	// (subprocess Wait).
+	teardown func()
+	reap     func()
 }
 
-// spawn launches a worker subprocess and sends it the init message.
+// obtain produces one initialized session for a slot: either spawn a
+// subprocess or lease the next connected gateway worker, then send it
+// the init message.
+func (r *Run) obtain(slot int) (*workerSession, error) {
+	var s *workerSession
+	if r.opts.Sessions != nil {
+		var err error
+		s, err = r.opts.Sessions.Acquire(r.doneCh)
+		if err != nil {
+			return nil, err
+		}
+		r.o.CounterAdd(obs.MWorkerSpawns, 1, "app", r.opts.App, "worker", strconv.Itoa(slot))
+		r.o.Event(obs.EvWorkerSpawn,
+			obs.String("app", r.opts.App), obs.Int("worker", int64(slot)),
+			obs.Int("pid", int64(s.pid)), obs.String("remote", s.remote))
+		r.o.Stat().WorkerSpawned(slot, s.pid)
+	} else {
+		var err error
+		s, err = r.spawn(slot)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := r.opts.Config
+	cfg.SharedPersistent = r.opts.SharedBackend != nil
+	if err := s.send(Msg{Type: MsgInit, App: r.opts.App, Config: &cfg}); err != nil {
+		s.kill()
+		return nil, err
+	}
+	return s, nil
+}
+
+// spawn launches a worker subprocess.
 func (r *Run) spawn(slot int) (*workerSession, error) {
 	cmd := r.opts.WorkerCmd()
 	if cmd == nil {
@@ -1182,17 +1286,19 @@ func (r *Run) spawn(slot int) (*workerSession, error) {
 		obs.Int("pid", int64(pid)))
 	r.o.Stat().WorkerSpawned(slot, pid)
 	s := &workerSession{
-		cmd:        cmd,
-		stdin:      stdin,
+		w:          stdin,
 		msgs:       make(chan Msg, 64),
 		readerDone: make(chan struct{}),
+		pid:        pid,
+		teardown: func() {
+			stdin.Close()
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		},
+		reap: func() { cmd.Wait() },
 	}
 	go s.readLoop(stdout)
-	cfg := r.opts.Config
-	if err := s.send(Msg{Type: MsgInit, App: r.opts.App, Config: &cfg}); err != nil {
-		s.kill()
-		return nil, err
-	}
 	return s, nil
 }
 
@@ -1203,16 +1309,16 @@ func (s *workerSession) send(m Msg) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	_, err = s.stdin.Write(append(line, '\n'))
+	_, err = s.w.Write(append(line, '\n'))
 	return err
 }
 
 // readLoop streams worker messages into s.msgs until EOF or a corrupt
 // line (a worker that has lost protocol framing is as good as dead).
-func (s *workerSession) readLoop(stdout io.Reader) {
+func (s *workerSession) readLoop(rd io.Reader) {
 	defer close(s.readerDone)
 	defer close(s.msgs)
-	sc := bufio.NewScanner(stdout)
+	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
 		var m Msg
@@ -1237,21 +1343,22 @@ func (s *workerSession) bye(clean bool) {
 	s.kill()
 }
 
-// kill tears the worker down: close its stdin, kill the process, and
-// reap it once the reader has drained. Idempotent. The session loop
-// never reads msgs after calling kill, so the reaper drains the channel
-// to unblock the reader.
+// kill tears the worker down: close its transport and reap it once the
+// reader has drained. Idempotent. The session loop never reads msgs
+// after calling kill, so the reaper drains the channel to unblock the
+// reader.
 func (s *workerSession) kill() {
 	s.killOnce.Do(func() {
-		s.stdin.Close()
-		if s.cmd.Process != nil {
-			s.cmd.Process.Kill()
+		if s.teardown != nil {
+			s.teardown()
 		}
 		go func() {
 			for range s.msgs {
 			}
 			<-s.readerDone
-			s.cmd.Wait()
+			if s.reap != nil {
+				s.reap()
+			}
 		}()
 	})
 }

@@ -1,0 +1,225 @@
+package dist_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/forensics"
+	"zebraconf/internal/core/ledger"
+	"zebraconf/internal/obs"
+)
+
+// startTCPWorkers runs n real `-worker -connect` loops against the
+// gateway and returns a shutdown func. Shutdown closes the gateway
+// first: a parked worker blocks inside its session until the gateway
+// kills the connection, and only then reaches the Stop check in its
+// dial loop.
+func startTCPWorkers(t *testing.T, gw *dist.Gateway, token string, n int) func() {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := dist.ConnectWorker(gw.Addr(), dist.ConnectOptions{Token: token, Stop: stop}, apps.ByName); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	return func() {
+		close(stop)
+		gw.Close()
+		wg.Wait()
+	}
+}
+
+// waitIdle blocks until the gateway has parked want idle workers.
+func waitIdle(t *testing.T, gw *dist.Gateway, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for gw.Stats().WorkersIdle < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway idle = %d, want %d (workers never parked)", gw.Stats().WorkersIdle, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// rudeWorker is a protocol-speaking TCP worker that authenticates,
+// acknowledges init, then slams the connection shut the moment the
+// first work item arrives — a machine lost mid-item, as the gateway
+// sees it.
+func rudeWorker(t *testing.T, addr, token string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(dist.Msg{Type: dist.MsgHello, Token: token, PID: os.Getpid()}); err != nil {
+		t.Error(err)
+		return
+	}
+	rd := bufio.NewReader(conn)
+	if _, err := rd.ReadString('\n'); err != nil { // welcome
+		t.Error(err)
+		return
+	}
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return // gateway gave up on us first
+		}
+		var m dist.Msg
+		if json.Unmarshal([]byte(line), &m) != nil {
+			return
+		}
+		switch m.Type {
+		case dist.MsgInit:
+			if err := enc.Encode(dist.Msg{Type: dist.MsgReady, PID: os.Getpid()}); err != nil {
+				return
+			}
+		case dist.MsgRun:
+			return // deferred Close: rude mid-item disconnect
+		}
+	}
+}
+
+// withEvidence is the subset campaign with forensic capture on, so the
+// retry accounting below can assert evidence records are not duplicated.
+func withEvidence(seed int64, o *obs.Observer) campaign.Options {
+	opts := subsetOptions(seed, o)
+	opts.EvidenceMax = forensics.DefaultBudget
+	return opts
+}
+
+// TestGatewayRudeDisconnectRetries kills a TCP worker mid-item and
+// requires the coordinator to treat the disconnect as a worker crash:
+// the item retries on a freshly acquired worker, the merged result
+// matches a local run, and every reported parameter carries exactly one
+// evidence record — the lost attempt must not double-account.
+func TestGatewayRudeDisconnectRetries(t *testing.T) {
+	t.Parallel()
+	app := minihdfs(t)
+	const seed, token = 11, "gw-secret"
+
+	gw, err := dist.ListenGateway("127.0.0.1:0", token, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the rude worker first: with one slot, the coordinator leases
+	// idle workers FIFO, so the campaign starts on the doomed session.
+	go rudeWorker(t, gw.Addr(), token)
+	waitIdle(t, gw, 1)
+	shutdown := startTCPWorkers(t, gw, token, 1)
+	defer shutdown()
+	waitIdle(t, gw, 2)
+
+	o := obs.New()
+	res := runDistributed(t, app, withEvidence(seed, o), dist.Options{
+		Workers:     1,
+		Sessions:    gw,
+		ItemRetries: dist.DefaultItemRetries,
+	})
+
+	if n := o.Metrics.CounterValue(obs.MWorkerCrashes, "app", app.Name, "reason", "crash"); n < 1 {
+		t.Fatalf("worker crashes = %d, want >= 1 (the rude disconnect was not seen as a crash)", n)
+	}
+	if st := gw.Stats(); st.WorkersAdmitted < 2 {
+		t.Fatalf("workers admitted = %d, want >= 2 (retry never acquired a fresh worker)", st.WorkersAdmitted)
+	}
+
+	local := campaign.Run(app, withEvidence(seed, nil))
+	if len(local.Reported) == 0 {
+		t.Fatal("local subset campaign reported nothing; the check is vacuous")
+	}
+	if len(res.Reported) != len(local.Reported) {
+		t.Fatalf("reported %d parameters, local run reported %d", len(res.Reported), len(local.Reported))
+	}
+	for i, p := range res.Reported {
+		lp := local.Reported[i]
+		if p.Param != lp.Param || p.Truth != lp.Truth {
+			t.Fatalf("report %d diverges: got %s (%v), local %s (%v)", i, p.Param, p.Truth, lp.Param, lp.Truth)
+		}
+		if (p.Evidence != nil) != (lp.Evidence != nil) {
+			t.Fatalf("%s: evidence presence diverges from local run", p.Param)
+		}
+	}
+	// Ledger-level accounting: the retried campaign records the same
+	// number of evidence records as an uninterrupted local run — exactly
+	// one per evidenced verdict, none duplicated by the lost attempt.
+	now := time.Now()
+	distRec := ledger.Summarize(res, seed, now, 1, nil)
+	localRec := ledger.Summarize(local, seed, now, 0, nil)
+	if distRec.EvidenceRecords != localRec.EvidenceRecords || distRec.EvidenceRecords == 0 {
+		t.Fatalf("evidence records = %d, local %d; want equal and nonzero",
+			distRec.EvidenceRecords, localRec.EvidenceRecords)
+	}
+}
+
+// TestGatewayTCPWorkersMatchLocal extends the equivalence invariant to
+// networked workers: a campaign sharded over two real TCP worker
+// sessions reports byte-identically to the in-process pool.
+func TestGatewayTCPWorkersMatchLocal(t *testing.T) {
+	t.Parallel()
+	app := minihdfs(t)
+	const seed, token = 11, "gw-secret"
+
+	gw, err := dist.ListenGateway("127.0.0.1:0", token, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := startTCPWorkers(t, gw, token, 2)
+	defer shutdown()
+
+	local := campaign.Run(app, subsetOptions(seed, nil))
+	res := runDistributed(t, app, subsetOptions(seed, nil), dist.Options{
+		Workers:  2,
+		Sessions: gw,
+	})
+	if !reflect.DeepEqual(res.Reported, local.Reported) {
+		t.Fatalf("reported parameters diverge:\n tcp   %+v\n local %+v", res.Reported, local.Reported)
+	}
+	if res.Counts.Executed != local.Counts.Executed {
+		t.Fatalf("executions diverge: tcp %d, local %d", res.Counts.Executed, local.Counts.Executed)
+	}
+	if len(local.Reported) == 0 {
+		t.Fatal("subset campaign reported nothing; the equivalence check is vacuous")
+	}
+}
+
+// TestGatewayAuthReject: a worker with the wrong token is told so and
+// must not redial; the gateway counts the failure and parks nothing.
+func TestGatewayAuthReject(t *testing.T) {
+	t.Parallel()
+	gw, err := dist.ListenGateway("127.0.0.1:0", "right-token", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	err = dist.ConnectWorker(gw.Addr(), dist.ConnectOptions{Token: "wrong-token"}, apps.ByName)
+	if !errors.Is(err, dist.ErrAuthRejected) {
+		t.Fatalf("ConnectWorker error = %v, want ErrAuthRejected", err)
+	}
+	st := gw.Stats()
+	if st.AuthFailures < 1 {
+		t.Fatalf("auth failures = %d, want >= 1", st.AuthFailures)
+	}
+	if st.WorkersAdmitted != 0 || st.WorkersIdle != 0 {
+		t.Fatalf("rejected worker was admitted: %+v", st)
+	}
+}

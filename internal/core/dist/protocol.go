@@ -64,6 +64,16 @@ const (
 	// advisory: the coordinator uses missed beats to flag stalled workers
 	// but never kills on them — the per-item deadline still governs.
 	MsgHeartbeat = "heartbeat"
+	// MsgHello (worker → gateway) opens a TCP worker connection: Token
+	// authenticates, PID identifies. Only spoken on networked sessions —
+	// stdio subprocess sessions skip the handshake (the pipe is the
+	// trust boundary) and start straight at init.
+	MsgHello = "hello"
+	// MsgWelcome (gateway → worker) answers the hello. Error non-empty
+	// means rejected (bad token); the gateway closes the connection
+	// after writing it, and the worker must not redial with the same
+	// credentials. On success the worker parks silently until init.
+	MsgWelcome = "welcome"
 )
 
 // Heartbeat is the health snapshot riding in a MsgHeartbeat.
@@ -98,6 +108,9 @@ type Msg struct {
 	CacheHit bool         `json:"cache_hit,omitempty"`
 	// HB carries the health snapshot of a MsgHeartbeat.
 	HB *Heartbeat `json:"hb,omitempty"`
+	// Token authenticates a MsgHello against the gateway's shared
+	// secret.
+	Token string `json:"token,omitempty"`
 }
 
 // Config is the serializable subset of campaign.Options a worker needs
@@ -138,6 +151,22 @@ type Config struct {
 	// Not part of campaign.Options, so ConfigFrom leaves it zero — the
 	// CLI turns it on for real campaigns.
 	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+	// DiskCacheDir, when non-empty, asks the worker to open a persistent
+	// diskcache.Store at that path as the tier between its in-process
+	// memo cache and the coordinator-shared cache (memory → disk →
+	// coordinator). Only meaningful for subprocess workers sharing the
+	// coordinator's filesystem; TCP workers configure their own local
+	// directory via the -disk-cache flag instead, which takes
+	// precedence. Zero DiskCacheMaxBytes selects the diskcache default.
+	DiskCacheDir      string `json:"disk_cache_dir,omitempty"`
+	DiskCacheMaxBytes int64  `json:"disk_cache_max_bytes,omitempty"`
+	// SharedPersistent tells the worker the coordinator's shared cache
+	// is itself backed by a persistent store, so label-seeded executions
+	// are worth memoizing: their keys only ever repeat across campaigns,
+	// which an ephemeral shared cache can never observe. Set by the
+	// coordinator from its own SharedBackend; workers with a local disk
+	// tier enable the same behaviour regardless.
+	SharedPersistent bool `json:"shared_persistent,omitempty"`
 }
 
 // ConfigFrom extracts the wire configuration from campaign options.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
@@ -28,6 +29,19 @@ import (
 // its CPUs; this is the per-machine container count of the paper's fleet.
 const DefaultWorkerParallel = 8
 
+// WorkerEnv carries worker-machine-local settings that are not part of
+// the campaign configuration shipped by the coordinator: a networked
+// worker's operator decides where (and whether) its persistent disk
+// cache lives, the coordinator only decides the campaign.
+type WorkerEnv struct {
+	// DiskCacheDir, when non-empty, overrides Config.DiskCacheDir as the
+	// location of the worker's persistent execution cache tier.
+	DiskCacheDir string
+	// DiskCacheMaxBytes caps that store; zero selects the diskcache
+	// default.
+	DiskCacheMaxBytes int64
+}
+
 // ServeWorker runs the worker side of the protocol: read init, announce
 // ready, execute run items (up to Config.Parallel concurrently), stream
 // results back, and exit on bye or coordinator EOF. resolve maps the
@@ -38,6 +52,11 @@ const DefaultWorkerParallel = 8
 // an item's result depends only on (app, config, item) and retries on
 // another worker — or replays from a checkpoint — are deterministic.
 func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, error)) error {
+	return ServeWorkerEnv(r, w, resolve, WorkerEnv{})
+}
+
+// ServeWorkerEnv is ServeWorker with worker-local environment settings.
+func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App, error), env WorkerEnv) error {
 	var wmu sync.Mutex
 	send := func(m Msg) error {
 		line, err := json.Marshal(m)
@@ -99,12 +118,34 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 	// back to re-running everything.
 	var rcache *remoteCache
 	var cache *memo.Cache
+	var cachePersistent bool
 	if !cfg.DisableExecCache {
 		var backend memo.Backend
 		if !cfg.NoSharedCache {
 			rcache = newRemoteCache(send)
 			backend = rcache
 		}
+		// Persistent disk tier between the in-process map and the
+		// coordinator: memory → disk → coordinator. The worker's own env
+		// wins over the coordinator's suggestion (the dir must make sense
+		// on *this* machine); an open failure just drops the tier.
+		dir, maxBytes := cfg.DiskCacheDir, cfg.DiskCacheMaxBytes
+		if env.DiskCacheDir != "" {
+			dir, maxBytes = env.DiskCacheDir, env.DiskCacheMaxBytes
+		}
+		if dir != "" {
+			if store, err := diskcache.Open(dir, maxBytes, backend, nil); err == nil {
+				backend = store
+				cachePersistent = true
+			} else {
+				fmt.Fprintf(os.Stderr, "zebraconf worker: disk cache disabled: %v\n", err)
+			}
+		}
+		// Persistence anywhere in the hierarchy — a local disk tier or a
+		// coordinator whose shared cache is disk-backed — makes
+		// label-seeded trials worth memoizing: their keys only recur
+		// across campaigns.
+		cachePersistent = cachePersistent || (!cfg.NoSharedCache && cfg.SharedPersistent)
 		cache = memo.NewCache(app.Name, backend, nil)
 	}
 	// Evidence budget: one recorder shared by every item of this session,
@@ -114,13 +155,14 @@ func ServeWorker(r io.Reader, w io.Writer, resolve func(string) (*harness.App, e
 	// from the records riding in each item result.
 	rec := forensics.NewRecorder(app.Name, cfg.EvidenceMax, nil)
 	rops := runner.Options{
-		Significance: opts.Significance,
-		MaxRounds:    opts.MaxRounds,
-		DisableGate:  opts.DisableGate,
-		Strategy:     opts.Strategy,
-		BaseSeed:     opts.Seed,
-		Cache:        cache,
-		Evidence:     rec,
+		Significance:     opts.Significance,
+		MaxRounds:        opts.MaxRounds,
+		DisableGate:      opts.DisableGate,
+		Strategy:         opts.Strategy,
+		BaseSeed:         opts.Seed,
+		Cache:            cache,
+		CacheLabelSeeded: cachePersistent,
+		Evidence:         rec,
 	}
 	run := runner.New(app, rops)
 	parallel := cfg.Parallel

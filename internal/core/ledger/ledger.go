@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"zebraconf/internal/core/campaign"
 )
 
 // FileName is the ledger file inside a -ledger directory.
@@ -64,6 +66,53 @@ type Record struct {
 	// evidence budget statistics of this run's report.
 	EvidenceRecords int   `json:"evidence_records,omitempty"`
 	EvidenceBytes   int64 `json:"evidence_bytes,omitempty"`
+}
+
+// Summarize condenses one finished campaign into a Record: the sorted
+// reported set with its digest, the execution-affecting flags with
+// theirs, and the run's counters. Shared by the CLI's -ledger path and
+// the campaign server, so locally-run and submitted campaigns produce
+// directly diffable records.
+func Summarize(res *campaign.Result, seed int64, start time.Time, workers int, flags map[string]string) Record {
+	names := make([]string, 0, len(res.Reported))
+	lines := make([]string, 0, len(res.Reported))
+	var evRecords int
+	var evBytes int64
+	for _, p := range res.Reported {
+		names = append(names, p.Param)
+		lines = append(lines, p.Param+"\x00"+p.Truth.String())
+		if p.Evidence != nil {
+			evRecords++
+			if b, err := json.Marshal(p.Evidence); err == nil {
+				evBytes += int64(len(b))
+			}
+		}
+	}
+	sort.Strings(names)
+	return Record{
+		RunID:            NewRunID(res.App, seed, start, os.Getpid()),
+		Start:            start.UTC().Format(time.RFC3339),
+		App:              res.App,
+		Seed:             seed,
+		Flags:            flags,
+		FlagsDigest:      DigestFlags(flags),
+		Reported:         names,
+		ReportedDigest:   DigestReported(lines),
+		Tests:            res.NumTests,
+		Params:           res.NumParams,
+		TruePositives:    res.TruePositives,
+		FalsePositives:   res.FalsePositives,
+		Missed:           len(res.Missed),
+		Executions:       res.Counts.Executed,
+		ExecutionsSaved:  res.Counts.ExecutionsSaved,
+		MakespanSeconds:  res.Elapsed.Seconds(),
+		Workers:          workers,
+		WorkerStalls:     res.WorkerStalls,
+		SkippedTests:     len(res.SkippedTests),
+		QuarantinedItems: len(res.QuarantinedItems),
+		EvidenceRecords:  evRecords,
+		EvidenceBytes:    evBytes,
+	}
 }
 
 // NewRunID derives a record's RunID.

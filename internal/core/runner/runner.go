@@ -109,6 +109,14 @@ type Options struct {
 	// seeded-deterministic, so equal cache keys mean byte-identical runs
 	// and reuse changes no verdict. Nil re-runs everything.
 	Cache *memo.Cache
+	// CacheLabelSeeded additionally memoizes label-seeded heterogeneous
+	// trials. Their keys are unique within one campaign (the label is in
+	// the seed), so this buys nothing for a per-campaign in-memory cache
+	// and stays off by default; set it when Cache reaches a persistent
+	// tier (disk store, served campaigns), where the same keys recur on
+	// resubmission of an unchanged campaign. Forensic capture runs are
+	// exempt: evidence must come from a real execution.
+	CacheLabelSeeded bool
 	// Obs receives execution metrics and trace spans; nil disables
 	// instrumentation at no cost.
 	Obs *obs.Observer
@@ -180,9 +188,44 @@ func (r *Runner) executeSpec(test *harness.UnitTest, assign map[agent.Key]string
 }
 
 // runOnce executes the unit test under one assignment with a
-// label-derived seed (never cached: the label makes the run unique).
+// label-derived seed, never consulting the cache. Callers that need the
+// full outcome — pre-run reports, dependency probes reading Usage —
+// must land here: memo.Result carries only the verdict fields, so a
+// cached replay could not serve them.
 func (r *Runner) runOnce(test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) harness.Outcome {
 	return r.execute(test, assign, seedFor(r.opts.BaseSeed, label, arm, round), arm)
+}
+
+// runLabelSeeded is runOnce for callers that consume only the verdict
+// fields (failed, timed out, message): with CacheLabelSeeded set it
+// routes the execution through the memo cache under its label-derived
+// seed. Label-seeded keys never repeat within one campaign — the label
+// makes each unique — so this changes nothing for an in-memory cache;
+// against a persistent tier the identical keys recur when an unchanged
+// campaign is resubmitted, and replay is sound for exactly the reason
+// canonical reuse is: the harness is seeded-deterministic, so an equal
+// (app, test, assignment, seed) key means a byte-identical run.
+func (r *Runner) runLabelSeeded(parent obs.SpanID, test *harness.UnitTest, assign map[agent.Key]string, label, arm string, round int) (out harness.Outcome, reused bool) {
+	seed := seedFor(r.opts.BaseSeed, label, arm, round)
+	if !r.opts.CacheLabelSeeded || r.opts.Cache == nil {
+		return r.execute(test, assign, seed, arm), false
+	}
+	key := memo.Key{App: r.app.Name, Test: test.Name, Assign: memo.HashAssignment(assign), Seed: seed}
+	res, reused := r.opts.Cache.Do(key, func() memo.Result {
+		out = r.execute(test, assign, seed, arm)
+		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg}
+	})
+	if reused {
+		out = harness.Outcome{Failed: res.Failed, TimedOut: res.TimedOut, Msg: res.Msg}
+		s := r.opts.Obs.StartSpan("cache-hit", parent,
+			obs.String("app", r.app.Name),
+			obs.String("test", test.Name),
+			obs.String("arm", arm),
+			obs.String("digest", key.Assign),
+			obs.Int("seed", key.Seed))
+		s.End()
+	}
+	return out, reused
 }
 
 // runCanonical executes the unit test under a canonically-seeded
@@ -281,20 +324,34 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 			obs.Int("round", int64(round)))
 		roundHomoFailBase := *homoFail
 		var het harness.Outcome
+		var hetReused bool
 		if rec.Enabled() && (ev == nil || !ev.Failed) {
 			// Capture this heterogeneous trial: round 0 always, later
 			// rounds until one fails — the failing execution is the one
 			// worth explaining, and once held it is never re-captured.
 			seed := seedFor(r.opts.BaseSeed, label, "hetero", round)
 			het = r.executeSpec(test, asn.Hetero, seed, "hetero", rec.Spec())
+			if r.opts.CacheLabelSeeded {
+				// Capture must execute for real, but the outcome is
+				// still the deterministic function of this key — seed
+				// the persistent tier so a resubmit without capture
+				// (or a later instance of the same trial) replays it.
+				r.opts.Cache.Record(
+					memo.Key{App: r.app.Name, Test: test.Name, Assign: memo.HashAssignment(asn.Hetero), Seed: seed},
+					memo.Result{Failed: het.Failed, TimedOut: het.TimedOut, Msg: het.Msg})
+			}
 			if ev == nil || het.Failed {
 				ev = forensics.FromOutcome(r.app.Name, test.Name, seed, round, het)
 				ev.Assign = forensics.AssignKV(asn.Hetero)
 			}
 		} else {
-			het = r.runOnce(test, asn.Hetero, label, "hetero", round)
+			het, hetReused = r.runLabelSeeded(rs.ID(), test, asn.Hetero, label, "hetero", round)
 		}
-		res.Executions++
+		if hetReused {
+			res.Saved++
+		} else {
+			res.Executions++
+		}
 		if het.Failed {
 			*heteroFail++
 			if res.HeteroMsg == "" {

@@ -1,0 +1,239 @@
+package server_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/ledger"
+	"zebraconf/internal/core/server"
+	"zebraconf/internal/obs"
+)
+
+const testToken = "test-secret"
+
+// startServer brings up a full service on loopback ports: REST API,
+// worker gateway, and n TCP workers. The returned shutdown must run
+// before the test ends.
+func startServer(t *testing.T, stateDir string, workers int) (*server.Server, *server.Client, func()) {
+	t.Helper()
+	srv, err := server.New(server.Options{
+		Addr:       "127.0.0.1:0",
+		WorkerAddr: "127.0.0.1:0",
+		Token:      testToken,
+		StateDir:   stateDir,
+		Resolve:    apps.ByName,
+		Obs:        obs.New(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ready) }()
+	var base string
+	select {
+	case base = <-ready:
+	case err := <-serveErr:
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := dist.ConnectWorker(srv.WorkerAddr(), dist.ConnectOptions{Token: testToken, Stop: stop}, apps.ByName); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	shutdown := func() {
+		close(stop)
+		srv.Close() // kills parked worker connections, stops the API
+		wg.Wait()
+		if err := <-serveErr; err != nil {
+			t.Error(err)
+		}
+	}
+	return srv, &server.Client{Base: "http://" + base, Token: testToken}, shutdown
+}
+
+// subsetRequest mirrors the dist test suite's deterministic minihdfs
+// slice: two checksum parameters, three tests, three work items.
+func subsetRequest(seed int64) server.SubmitRequest {
+	return server.SubmitRequest{
+		App:     "minihdfs",
+		Params:  []string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+		Tests:   []string{"TestWriteRead", "TestFsck", "TestMkdirList"},
+		Seed:    seed,
+		Workers: 2,
+	}
+}
+
+// TestServedCampaignMatchesLocal is the tentpole roundtrip: submit over
+// REST, execute on two TCP workers, and require the reported set to
+// match a local in-process run — then resubmit and require the repeat
+// to be served from the persistent disk cache.
+func TestServedCampaignMatchesLocal(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	_, cl, shutdown := startServer(t, dir, 2)
+	defer shutdown()
+
+	// Wrong token: rejected before any handler runs.
+	bad := &server.Client{Base: cl.Base, Token: "wrong"}
+	if _, err := bad.List(); err == nil {
+		t.Fatal("request with a bad token was accepted")
+	}
+
+	id, err := cl.Submit(subsetRequest(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cl.Wait(id, 50*time.Millisecond, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State != server.StateDone {
+		t.Fatalf("campaign state = %s (%s), want done", d.State, d.Error)
+	}
+	if d.RunID == "" {
+		t.Fatal("done campaign has no ledger run ID")
+	}
+	if d.Counts == nil || d.Counts.Executions == 0 {
+		t.Fatalf("done campaign reports no executions: %+v", d.Counts)
+	}
+
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := subsetRequest(11)
+	local := campaign.Run(app, campaign.Options{Params: req.Params, Tests: req.Tests, Seed: req.Seed})
+	if len(local.Reported) == 0 {
+		t.Fatal("local subset campaign reported nothing; the equivalence check is vacuous")
+	}
+	if len(d.Reported) != len(local.Reported) {
+		t.Fatalf("served campaign reported %d parameters, local %d", len(d.Reported), len(local.Reported))
+	}
+	for i, p := range d.Reported {
+		lp := local.Reported[i]
+		if p.Param != lp.Param || p.Truth != lp.Truth.String() {
+			t.Fatalf("report %d diverges: served %s (%s), local %s (%s)",
+				i, p.Param, p.Truth, lp.Param, lp.Truth)
+		}
+	}
+
+	// The run is in the server's ledger under the linked run ID, so
+	// `-mode diff -ledger <state>/ledger` can compare submitted runs.
+	recs, err := ledger.Read(filepath.Join(dir, "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].RunID != d.RunID {
+		t.Fatalf("ledger records = %+v, want one with run ID %s", recs, d.RunID)
+	}
+
+	// Resubmit: the identical campaign replays from the disk cache.
+	before, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := cl.Submit(subsetRequest(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cl.Wait(id2, 50*time.Millisecond, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.State != server.StateDone {
+		t.Fatalf("resubmitted campaign state = %s (%s), want done", d2.State, d2.Error)
+	}
+	after, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Fatalf("disk cache hits did not grow on resubmit: before %d, after %d",
+			before.Cache.Hits, after.Cache.Hits)
+	}
+	if len(d2.Reported) != len(d.Reported) {
+		t.Fatalf("resubmitted campaign reported %d parameters, first run %d", len(d2.Reported), len(d.Reported))
+	}
+
+	sums, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("listed %d campaigns, want 2", len(sums))
+	}
+	if _, err := cl.Cancel("c9999"); err == nil {
+		t.Fatal("cancelling an unknown campaign succeeded")
+	}
+}
+
+// TestQueueAndCancel exercises the FIFO queue without any workers: the
+// first campaign occupies the run loop (blocked acquiring a session),
+// the second waits in queue and cancels in place, and cancelling the
+// running one aborts its coordinator.
+func TestQueueAndCancel(t *testing.T) {
+	t.Parallel()
+	_, cl, shutdown := startServer(t, t.TempDir(), 0)
+	defer shutdown()
+
+	id1, err := cl.Submit(subsetRequest(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		d, err := cl.Get(id1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.State == server.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s never started running (state %s)", id1, d.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	id2, err := cl.Submit(subsetRequest(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cl.Get(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.State != server.StateQueued || d2.QueuePosition != 1 {
+		t.Fatalf("second campaign = %s at queue position %d, want queued at 1", d2.State, d2.QueuePosition)
+	}
+	if state, err := cl.Cancel(id2); err != nil || state != server.StateCancelled {
+		t.Fatalf("cancelling queued campaign: state %s, err %v", state, err)
+	}
+
+	if _, err := cl.Cancel(id1); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := cl.Wait(id1, 20*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.State != server.StateCancelled {
+		t.Fatalf("cancelled running campaign settled as %s, want cancelled", d1.State)
+	}
+	if d1.RunID != "" {
+		t.Fatal("cancelled campaign was written to the ledger")
+	}
+}

@@ -163,6 +163,46 @@ const (
 	// degraded to verdict-only). Labels: app, reason.
 	MEvidenceTruncated = "zebraconf_evidence_truncated_total"
 
+	// Persistent disk cache catalog (internal/core/diskcache).
+
+	// MDiskCacheHits counts lookups served from the on-disk store.
+	// Labels: none (the store outlives any one app's campaign).
+	MDiskCacheHits = "zebraconf_disk_cache_hits_total"
+	// MDiskCacheMisses counts lookups that fell through the disk tier.
+	MDiskCacheMisses = "zebraconf_disk_cache_misses_total"
+	// MDiskCacheWrites counts entries written (puts + write-throughs).
+	MDiskCacheWrites = "zebraconf_disk_cache_writes_total"
+	// MDiskCacheEvictions counts LRU evictions under the size cap.
+	MDiskCacheEvictions = "zebraconf_disk_cache_evictions_total"
+	// MDiskCacheCorrupt counts entries rejected on read (truncated,
+	// garbage, or key mismatch) and deleted; each degrades to a miss.
+	MDiskCacheCorrupt = "zebraconf_disk_cache_corrupt_total"
+	// MDiskCacheBytes gauges the store's current payload size.
+	MDiskCacheBytes = "zebraconf_disk_cache_bytes"
+	// MDiskCacheEntries gauges the store's current entry count.
+	MDiskCacheEntries = "zebraconf_disk_cache_entries"
+	// MDiskCacheHitAge histograms seconds between an entry's creation
+	// and a hit on it — how stale the reuse is (cross-campaign hits show
+	// up as old entries).
+	MDiskCacheHitAge = "zebraconf_disk_cache_hit_age_seconds"
+
+	// Campaign service catalog (internal/core/dist gateway +
+	// internal/core/server).
+
+	// MGatewayWorkers counts workers admitted through the TCP gateway
+	// handshake.
+	MGatewayWorkers = "zebraconf_gateway_workers_total"
+	// MGatewayAuthFailures counts connections refused at the hello
+	// handshake (bad token, malformed hello, timeout).
+	MGatewayAuthFailures = "zebraconf_gateway_auth_failures_total"
+	// MGatewayIdle gauges workers currently parked awaiting a campaign.
+	MGatewayIdle = "zebraconf_gateway_idle_workers"
+	// MServerCampaigns counts campaigns by terminal state.
+	// Labels: state (done, failed, cancelled).
+	MServerCampaigns = "zebraconf_server_campaigns_total"
+	// MServerQueueDepth gauges campaigns queued behind the running one.
+	MServerQueueDepth = "zebraconf_server_queue_depth"
+
 	// MBuildInfo is the conventional constant-1 build-identity gauge.
 	// Labels: version, go.
 	MBuildInfo = "zebraconf_build_info"
@@ -182,6 +222,9 @@ var (
 	// RatioBuckets covers predicted-vs-actual duration ratios, centered
 	// on 1.0 (a perfect prediction) with room for 10x misses either way.
 	RatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 4, 10}
+	// AgeBuckets covers disk-cache hit ages from same-campaign reuse
+	// (seconds) out to week-old cross-campaign entries.
+	AgeBuckets = []float64{1, 10, 60, 300, 1800, 3600, 6 * 3600, 24 * 3600, 7 * 24 * 3600}
 )
 
 // boundsFor maps a histogram family to its catalog bucket layout.
@@ -195,6 +238,8 @@ func boundsFor(name string) []float64 {
 		return DepthBuckets
 	case MSchedPredRatio:
 		return RatioBuckets
+	case MDiskCacheHitAge:
+		return AgeBuckets
 	default:
 		return LatencyBuckets
 	}
