@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
+	"zebraconf/internal/core/harness"
+)
+
+// saveCoverage persists the campaign's read-coverage index and replayable
+// item store into the ledger directory, folding in whatever of the
+// previous run still stands: entries for deselected tests (which ran
+// nothing this time, so only the prior entry knows their reads) and for
+// replayed tests (whose prior entry is by construction still valid).
+// Without the Adopt step a warm selection run would drop the very
+// entries it selected on, and the next run would oscillate back to full
+// dispatch.
+func saveCoverage(dir string, app *harness.App, opts campaign.Options, res *campaign.Result,
+	plan *campaign.RerunPlan, prevIx *coverage.Index, prevItems *coverage.ItemStore, exitCode *int) {
+	if res.Coverage == nil {
+		return
+	}
+	schema := campaign.OverrideApp(app, opts.Overrides).Schema()
+	ix := coverage.Build(app.Name, opts.Seed, opts.CoverageKey, res.Coverage, schema)
+	carry := append([]string(nil), res.DeselectedTests...)
+	if plan != nil {
+		carry = append(carry, plan.Replayed...)
+	}
+	ix.Adopt(prevIx, carry)
+
+	st := &coverage.ItemStore{App: app.Name, Items: make(map[string]json.RawMessage)}
+	for _, it := range res.Items {
+		if it.Replayed {
+			continue // the carried-forward raw record is the source of truth
+		}
+		if b, err := json.Marshal(it); err == nil {
+			st.Items[it.Test] = b
+		}
+	}
+	if prevItems != nil {
+		for _, t := range carry {
+			if raw, ok := prevItems.Items[t]; ok && st.Items[t] == nil {
+				st.Items[t] = raw
+			}
+		}
+	}
+
+	if err := coverage.Save(dir, ix); err != nil {
+		fmt.Fprintln(os.Stderr, "zebraconf: writing coverage index:", err)
+		*exitCode = 1
+		return
+	}
+	if err := coverage.SaveItems(dir, st); err != nil {
+		fmt.Fprintln(os.Stderr, "zebraconf: writing coverage item store:", err)
+		*exitCode = 1
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/dist"
 	"zebraconf/internal/core/forensics"
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run | explain | watch | diff | suggest-deps | serve | submit | cancel")
+		mode       = flag.String("mode", "run", "stats | run | rerun | explain | watch | diff | suggest-deps | serve | submit | cancel")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
@@ -77,6 +78,10 @@ func main() {
 		speculate   = flag.Float64("speculate", 1.5, "with -workers: re-issue an item held longer than this factor x its predicted duration once the queue drains; 0 disables (ablation)")
 		profilePath = flag.String("profile", "", "duration profile JSON: read for predictions if present, rewritten with this campaign's timings at exit")
 		quarantine  = flag.Int("quarantine", 3, "distinct confirming tests before a parameter is live-quarantined mid-campaign (§4 frequent-failer rule); 0 disables the pruning (ablation)")
+
+		// Coverage-driven selection & incremental reruns (internal/core/coverage).
+		selectFlag = flag.String("select", "coverage", "phase-2 test selection: coverage (skip tests whose indexed read set is disjoint from the campaign's params; needs a warm -ledger index) | all (dispatch to every test; ablation)")
+		overrides  = flag.String("override", "", "comma-separated param=value schema default overrides (simulates a changed seeded default; drives -mode rerun invalidation)")
 
 		// Distributed execution (internal/core/dist).
 		workers        = flag.Int("workers", 0, "shard the campaign across N worker subprocesses (0 = in-process)")
@@ -298,12 +303,34 @@ func main() {
 		report.Table2(os.Stdout, selected)
 		fmt.Println()
 		report.Table4(os.Stdout, selected)
-	case "run", "explain":
+	case "run", "explain", "rerun":
 		// explain shares run's entire execution path — same campaign, same
 		// flags — and swaps the rendered report for the per-parameter
 		// forensics triage (evidence records attach to verdicts either way;
-		// explain just reads them back out).
+		// explain just reads them back out). rerun shares it too, but first
+		// partitions the suite against the previous ledger's coverage index
+		// and replays every test whose digested inputs are unchanged.
 		explain := *mode == "explain"
+		rerunMode := *mode == "rerun"
+		if rerunMode && *ledgerDir == "" {
+			fmt.Fprintln(os.Stderr, "zebraconf: -mode rerun needs -ledger (the directory holding the previous run's coverage index and item store)")
+			os.Exit(2)
+		}
+		if *selectFlag != "coverage" && *selectFlag != "all" {
+			fmt.Fprintf(os.Stderr, "zebraconf: bad -select %q (want coverage or all)\n", *selectFlag)
+			os.Exit(2)
+		}
+		overrideMap := make(map[string]string)
+		if *overrides != "" {
+			for _, kv := range strings.Split(*overrides, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || strings.TrimSpace(k) == "" {
+					fmt.Fprintf(os.Stderr, "zebraconf: bad -override entry %q (want param=value)\n", kv)
+					os.Exit(2)
+				}
+				overrideMap[strings.TrimSpace(k)] = v
+			}
+		}
 		policy, err := sched.ParsePolicy(*schedFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -338,6 +365,8 @@ func main() {
 			Profile:             profile,
 			QuarantineThreshold: quarThreshold,
 			EvidenceMax:         *evidenceMax,
+			SelectCoverage:      *selectFlag == "coverage",
+			Overrides:           overrideMap,
 			Obs:                 observer,
 		}
 		if *threadOnly {
@@ -395,7 +424,15 @@ func main() {
 			"worker-parallel": fmt.Sprint(*workerParallel),
 			"item-timeout":    itemTimeout.String(),
 			"item-retries":    fmt.Sprint(*itemRetries),
+			"select":          *selectFlag,
 		}
+		// The coverage environment key is that same digest: an index entry
+		// is only replayed or trusted for selection when the current run's
+		// execution-affecting flags match the run that recorded it.
+		// -override is deliberately NOT part of it — an override changes
+		// the per-parameter schema digests instead, so rerun invalidation
+		// names the drifted parameter rather than the whole environment.
+		opts.CoverageKey = ledger.DigestFlags(execFlags)
 		var results []*campaign.Result
 		for _, app := range selected {
 			if !explain {
@@ -465,7 +502,48 @@ func main() {
 				appOpts.Distributor = adapter
 			}
 			start := time.Now()
-			res := campaign.Run(app, appOpts)
+			// A warm ledger directory carries the previous run's coverage
+			// index (read edges + digests) and item store (replayable
+			// per-test results); both are optional — a cold directory just
+			// means a full run that seeds them.
+			var prevIx *coverage.Index
+			var prevItems *coverage.ItemStore
+			if *ledgerDir != "" {
+				var err error
+				if prevIx, err = coverage.Load(*ledgerDir, app.Name); err != nil {
+					fmt.Fprintln(os.Stderr, "zebraconf: reading coverage index:", err)
+					os.Exit(1)
+				}
+				if prevItems, err = coverage.LoadItems(*ledgerDir, app.Name); err != nil {
+					fmt.Fprintln(os.Stderr, "zebraconf: reading coverage item store:", err)
+					os.Exit(1)
+				}
+				appOpts.CoverageIndex = prevIx
+			}
+			var res *campaign.Result
+			var plan *campaign.RerunPlan
+			if rerunMode {
+				if prevIx == nil || prevItems == nil {
+					fmt.Fprintf(os.Stderr, "[zebraconf] rerun %s: no previous coverage index in %s; running the full campaign\n",
+						app.Name, *ledgerDir)
+					res = campaign.Run(app, appOpts)
+				} else {
+					p := campaign.PlanRerun(app, appOpts, prevIx, prevItems)
+					plan = &p
+					fmt.Printf("[zebraconf] rerun %s: %d changed, %d replayed\n",
+						app.Name, len(p.Changed), len(p.Replayed))
+					for _, t := range p.Changed {
+						why := strings.Join(p.Reasons[t], ", ")
+						if why == "" {
+							why = "new test or environment change"
+						}
+						fmt.Printf("[zebraconf] rerun changed %s (%s)\n", t, why)
+					}
+					res = campaign.Rerun(app, appOpts, p, prevItems)
+				}
+			} else {
+				res = campaign.Run(app, appOpts)
+			}
 			if adapter != nil && adapter.run != nil {
 				res.WorkerStalls = adapter.run.Stalls()
 			}
@@ -479,7 +557,12 @@ func main() {
 				fmt.Println()
 			}
 			if *ledgerDir != "" {
+				saveCoverage(*ledgerDir, app, appOpts, res, plan, prevIx, prevItems, &exitCode)
 				rec := ledgerRecord(res, *seed, start, *workers, execFlags)
+				if plan != nil {
+					rec.ChangedTests = len(plan.Changed)
+					rec.ReplayedTests = len(plan.Replayed)
+				}
 				if err := ledger.Append(*ledgerDir, rec); err != nil {
 					fmt.Fprintln(os.Stderr, "zebraconf: writing run ledger:", err)
 					exitCode = 1

@@ -3,6 +3,7 @@ package minihdfs
 import (
 	"bytes"
 	"compress/flate"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -892,21 +893,61 @@ func (nn *NameNode) Image() ([]byte, bool, error) {
 	if !nn.conf.GetBool(ParamImageCompress) {
 		return raw, false, nil
 	}
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.BestCompression)
+	// The codec is consulted only on this branch: a default campaign
+	// (compress off) never reads it, which is exactly the conditional
+	// read the coverage fallback must not lose.
+	enc, err := encodeImage(nn.conf.Get(ParamImageCodec), raw)
 	if err != nil {
 		return nil, false, err
 	}
-	if _, err := w.Write(raw); err != nil {
-		return nil, false, err
-	}
-	if err := w.Close(); err != nil {
-		return nil, false, err
-	}
-	return buf.Bytes(), true, nil
+	return enc, true, nil
 }
 
-// DecodeImage inflates an image produced by Image.
+// encodeImage compresses raw with the named codec ("gzip", or deflate
+// for anything else — the legacy default).
+func encodeImage(codec string, raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	var w io.WriteCloser
+	if codec == "gzip" {
+		w = gzip.NewWriter(&buf)
+	} else {
+		fw, err := flate.NewWriter(&buf, flate.BestCompression)
+		if err != nil {
+			return nil, err
+		}
+		w = fw
+	}
+	if _, err := w.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeImageCodec inflates img with the reader's own configured codec.
+// The image does not say which codec produced it — that is the
+// homogeneity assumption under test: a gzip stream handed to the
+// deflate reader hits the reserved block type in the gzip header and
+// fails, as does a bare deflate stream handed to gzip.NewReader.
+func decodeImageCodec(codec string, img []byte) ([]byte, error) {
+	if codec == "gzip" {
+		r, err := gzip.NewReader(bytes.NewReader(img))
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		return io.ReadAll(r)
+	}
+	r := flate.NewReader(bytes.NewReader(img))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// DecodeImage inflates an image produced by Image, assuming the legacy
+// deflate codec (callers that model configuration-aware readers use
+// decodeImageCodec with their own conf instead).
 func DecodeImage(img []byte, compressed bool) ([]byte, error) {
 	if !compressed {
 		return img, nil

@@ -52,6 +52,7 @@ const (
 	ParamStaleInterval       = "dfs.namenode.stale.datanode.interval"
 	ParamUpgradeDomainFactor = "dfs.namenode.upgrade.domain.factor"
 	ParamPeerProtocolVersion = "dfs.datanode.peer.protocol.version"
+	ParamImageCodec          = "dfs.image.compression.codec"
 
 	// False-positive traps (§7.1 causes).
 	ParamImageCompress = "dfs.image.compress"
@@ -208,6 +209,15 @@ func NewRegistry() *confkit.Registry {
 			Doc:        "DataNode-to-DataNode replication protocol version (synthetic: exists to exercise same-type heterogeneity, detectable only by round-robin assignment)",
 			Truth:      confkit.SafetyUnsafe,
 			Why:        "pipeline forwarding between DataNodes with different protocol versions fails the peer handshake"},
+		confkit.Param{Name: ParamImageCodec, Kind: confkit.Enum, Default: "deflate",
+			Candidates: []string{"deflate", "gzip"},
+			Doc:        "compression codec for saved namespace images; only consulted when dfs.image.compress is on, so the default campaign's pre-run never observes a read (the conditional-read hazard)",
+			Truth:      confkit.SafetyUnsafe,
+			Why:        "the image does not name its codec, so a reader inflates with its own: a gzip image fed to a deflate reader (or vice versa) fails the secondary NameNode's checkpoint",
+			DependsOn: []confkit.DependencyRule{
+				{If: "deflate", Then: ParamImageCompress, To: "true"},
+				{If: "gzip", Then: ParamImageCompress, To: "true"},
+			}},
 
 		confkit.Param{Name: ParamImageCompress, Kind: confkit.Bool, Default: "false",
 			Doc:   "compress saved namespace images",

@@ -76,9 +76,16 @@ func (snn *SecondaryNameNode) Checkpoint() error {
 	if err := snn.nn.CallJSON(MethodGetImage, struct{}{}, &img); err != nil {
 		return fmt.Errorf("minihdfs: checkpoint: %w", err)
 	}
-	raw, err := DecodeImage(img.Image, img.Compressed)
-	if err != nil {
-		return fmt.Errorf("minihdfs: checkpoint: decode image: %w", err)
+	raw := img.Image
+	if img.Compressed {
+		// Inflate with this node's own codec — the image does not carry
+		// one. The read happens only for compressed images, so a default
+		// campaign's pre-run never observes it.
+		var err error
+		raw, err = decodeImageCodec(snn.conf.Get(ParamImageCodec), img.Image)
+		if err != nil {
+			return fmt.Errorf("minihdfs: checkpoint: decode image: %w", err)
+		}
 	}
 	snn.mu.Lock()
 	snn.checkpoints++

@@ -533,10 +533,18 @@ func testImageComparison(t *harness.T) {
 	if len(img1.Image) != len(img2.Image) {
 		t.Fatalf("namenode image lengths differ: %d vs %d", len(img1.Image), len(img2.Image))
 	}
-	// The meaningful check: identical decompressed contents.
-	raw1, err := DecodeImage(img1.Image, img1.Compressed)
+	// The meaningful check: identical decompressed contents, inflated
+	// with the test's own configured codec (as the HDFS test would; the
+	// read happens only for compressed images).
+	decode := func(img ImageResp) ([]byte, error) {
+		if !img.Compressed {
+			return img.Image, nil
+		}
+		return decodeImageCodec(conf.Get(ParamImageCodec), img.Image)
+	}
+	raw1, err := decode(img1)
 	t.NoErr(err, "decode image 1")
-	raw2, err := DecodeImage(img2.Image, img2.Compressed)
+	raw2, err := decode(img2)
 	t.NoErr(err, "decode image 2")
 	if !bytes.Equal(raw1, raw2) {
 		t.Fatalf("namenode image contents differ")

@@ -24,6 +24,7 @@ package agent
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -73,6 +74,16 @@ type Options struct {
 	// default) disables recording; reads beyond the cap are counted, not
 	// stored, so chatty tests bound their own evidence.
 	TraceReads int
+	// Coverage records the deduplicated set of parameters this execution
+	// read, with no cap: unlike the bounded forensic trace above, the
+	// coverage sink must never drop an edge — a lost (param, test) edge
+	// would silently starve that test of instances under coverage-driven
+	// selection.
+	Coverage bool
+	// CoverageSites additionally records app-frame callsites per read
+	// parameter (a stack walk per read — pre-run cost, not phase-2 cost).
+	// Implies Coverage.
+	CoverageSites bool
 }
 
 // ReadEvent is one intercepted configuration read, in program order: the
@@ -164,12 +175,17 @@ type Agent struct {
 	traceReads   int // cap; 0 disables the read trace
 	readLog      []ReadEvent
 	readsDropped int
+
+	// covParams is the uncapped deduplicating coverage sink (nil when
+	// Options.Coverage is off); covSites adds per-param callsites.
+	covParams map[string]bool
+	covSites  map[string]map[string]bool
 }
 
 // New returns a fresh agent. Install it on the unit test's runtime with
 // rt.SetHooks before any node starts.
 func New(opts Options) *Agent {
-	return &Agent{
+	a := &Agent{
 		strategy:    opts.Strategy,
 		assign:      opts.Assign,
 		traceReads:  opts.TraceReads,
@@ -182,6 +198,13 @@ func New(opts Options) *Agent {
 		readsByConf: make(map[uint64]map[string]bool),
 		threadReads: make(map[string]map[string]bool),
 	}
+	if opts.Coverage || opts.CoverageSites {
+		a.covParams = make(map[string]bool)
+	}
+	if opts.CoverageSites {
+		a.covSites = make(map[string]map[string]bool)
+	}
+	return a
 }
 
 // StartInit implements confkit.Hooks: it registers a new node of nodeType in
@@ -334,14 +357,25 @@ func (a *Agent) RefToClone(orig *confkit.Conf) *confkit.Conf {
 // assigned a value to <owner entity, parameter>, overrides the result.
 func (a *Agent) InterceptGet(c *confkit.Conf, name, stored string, found bool) (string, bool) {
 	g := gid.ID()
-	// Callsite capture walks the stack only when the read trace is on;
-	// the default path pays nothing.
+	// Callsite capture walks the stack only when the read trace or the
+	// coverage callsite sink is on; the default path pays nothing.
 	var callsite string
-	if a.traceReads > 0 {
+	if a.traceReads > 0 || a.covSites != nil {
 		callsite = appCallsite()
 	}
 	a.mu.Lock()
 	a.confUsed = true
+	if a.covParams != nil {
+		a.covParams[name] = true
+		if a.covSites != nil && callsite != "" {
+			set := a.covSites[name]
+			if set == nil {
+				set = make(map[string]bool)
+				a.covSites[name] = set
+			}
+			set[callsite] = true
+		}
+	}
 	reads := a.readsByConf[c.ID()]
 	if reads == nil {
 		reads = make(map[string]bool)
@@ -416,6 +450,44 @@ func (a *Agent) ReadTrace() ([]ReadEvent, int) {
 	out := make([]ReadEvent, len(a.readLog))
 	copy(out, a.readLog)
 	return out, a.readsDropped
+}
+
+// CoverageParams returns the sorted, deduplicated set of parameters
+// this execution read. Nil unless Options.Coverage (or CoverageSites)
+// was set. Unlike ReadTrace, this sink has no cap: every distinct
+// parameter is present no matter how chatty the test.
+func (a *Agent) CoverageParams() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.covParams == nil {
+		return nil
+	}
+	out := make([]string, 0, len(a.covParams))
+	for p := range a.covParams {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoverageSites returns the param → sorted app callsites map recorded
+// when Options.CoverageSites was set; nil otherwise.
+func (a *Agent) CoverageSites() map[string][]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.covSites) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(a.covSites))
+	for p, set := range a.covSites {
+		ss := make([]string, 0, len(set))
+		for s := range set {
+			ss = append(ss, s)
+		}
+		sort.Strings(ss)
+		out[p] = ss
+	}
+	return out
 }
 
 // appCallsite reports the first stack frame outside the configuration

@@ -12,6 +12,7 @@ import (
 
 	"zebraconf/internal/confkit"
 	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
@@ -93,6 +94,29 @@ type Options struct {
 	// (the default) disables evidence entirely. In distributed mode the
 	// budget applies per worker process.
 	EvidenceMax int64
+	// SelectCoverage enables coverage-driven test selection: with a warm
+	// CoverageIndex, tests whose recorded read set is disjoint from the
+	// campaign's parameter set are skipped entirely (pre-run included).
+	// Selection is conservative — a test with no valid index entry always
+	// runs, and any explicitly targeted parameter with no coverage edge
+	// anywhere disables selection for the whole campaign (the
+	// full-dispatch fallback must reach every test). The reported
+	// parameter set is invariant under selection: a skipped test read
+	// none of the campaign's parameters, so it could only have produced
+	// zero instances for them.
+	SelectCoverage bool
+	// CoverageIndex is the previous run's param→tests index (nil = cold:
+	// no selection, full fallback dispatch for explicit params).
+	CoverageIndex *coverage.Index
+	// CoverageKey digests the execution environment beyond schema and
+	// seed (the CLI's verdict-relevant flags); index entries recorded
+	// under a different key are treated as stale.
+	CoverageKey string
+	// Overrides replaces schema parameter defaults (param → new default)
+	// before anything reads the schema — the -override flag, used by
+	// -mode rerun smoke tests to simulate a changed seeded default. The
+	// app itself is not mutated; its Schema constructor is wrapped.
+	Overrides map[string]string
 	// Distributor, when non-nil, executes phase 2's work items instead
 	// of the in-process worker pool — the dist coordinator plugs in
 	// here, sharding items across worker subprocesses. Begin announces
@@ -185,6 +209,21 @@ type Result struct {
 	TotalUncertain int
 	TotalConfs     int
 
+	// DeselectedTests lists tests coverage-driven selection skipped
+	// entirely (sorted): their indexed read sets were disjoint from the
+	// campaign's parameter set. The index writer carries their previous
+	// entries forward so a later run can skip them again.
+	DeselectedTests []string
+
+	// Coverage is the campaign's read-coverage collector: every
+	// execution's deduplicated read set (pre-runs with callsites,
+	// phase-2 runs, cache hits replayed from memoized reads, worker
+	// edges folded from item results). Freeze it with coverage.Build.
+	Coverage *coverage.Collector `json:"-"`
+	// Items holds the raw per-test item results, for the rerun replay
+	// store. Not serialized with the result.
+	Items []ItemResult `json:"-"`
+
 	Elapsed time.Duration
 }
 
@@ -228,6 +267,7 @@ func Run(app *harness.App, opts Options) *Result {
 	if opts.QuarantineThreshold <= 0 {
 		opts.QuarantineThreshold = 3
 	}
+	app = OverrideApp(app, opts.Overrides)
 	schema := app.Schema()
 	gen := testgen.New(schema)
 	if len(opts.Params) > 0 {
@@ -242,6 +282,7 @@ func Run(app *harness.App, opts Options) *Result {
 	if !opts.DisableExecCache {
 		cache = memo.NewCache(app.Name, opts.CacheBackend, opts.Obs)
 	}
+	cov := coverage.NewCollector()
 	run := runner.New(app, runner.Options{
 		Significance: opts.Significance,
 		MaxRounds:    opts.MaxRounds,
@@ -255,10 +296,16 @@ func Run(app *harness.App, opts Options) *Result {
 		// they only ever hit on resubmission of an unchanged campaign.
 		CacheLabelSeeded: opts.CacheBackend != nil,
 		Evidence:     forensics.NewRecorder(app.Name, opts.EvidenceMax, opts.Obs),
+		Coverage:     cov,
 	})
 
 	tests, unknown := selectTests(app, opts.Tests)
-	res := &Result{App: app.Name, NumTests: len(tests), NumParams: schema.Len()}
+	force, deselected := coveragePlan(schema, opts, tests)
+	if len(deselected) > 0 {
+		tests = dropTests(tests, deselected)
+	}
+	res := &Result{App: app.Name, NumTests: len(tests), NumParams: schema.Len(),
+		DeselectedTests: deselected, Coverage: cov}
 
 	o := opts.Obs
 	if len(unknown) > 0 {
@@ -306,7 +353,7 @@ func Run(app *harness.App, opts Options) *Result {
 	// one policy-aware queue feeds a single worker pool, so a test's
 	// item dispatches the moment its pre-run finishes and instance
 	// execution overlaps the pre-run tail.
-	ex := &campaignExec{app: app, gen: gen, run: run, opts: opts, o: o, phase: phase}
+	ex := &campaignExec{app: app, gen: gen, run: run, opts: opts, o: o, phase: phase, force: force}
 	var itemResults []ItemResult
 	var localLeaks int64
 	if opts.Stream {
@@ -314,6 +361,14 @@ func Run(app *harness.App, opts Options) *Result {
 	} else {
 		res.PreRuns, itemResults, localLeaks = ex.runBarriered(tests)
 	}
+	// Fold worker-produced coverage edges into the collector: distributed
+	// phase-2 executions happen out of process, and their read sets ride
+	// back on the item results. In-process items carry no Coverage (the
+	// collector observed them directly), so this is a no-op locally.
+	for _, it := range itemResults {
+		cov.Observe(it.Test, it.Coverage)
+	}
+	res.Items = itemResults
 	for _, pre := range res.PreRuns {
 		if pre.Report.UsedConf {
 			res.ConfUsingTests++
@@ -364,6 +419,10 @@ type campaignExec struct {
 	opts  Options
 	o     *obs.Observer
 	phase func(name string) (obs.SpanID, func())
+	// force maps a test name to the parameters its work item must
+	// generate instances for even without pre-run read evidence (the
+	// coverage fallback; see coveragePlan).
+	force map[string][]string
 }
 
 // runBarriered is the two-phase path: every pre-run completes, items are
@@ -386,7 +445,7 @@ func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.P
 	preds := make([]float64, len(tp))
 	for i, x := range tp {
 		pres[i] = x.pre
-		items[i] = WorkItem{ID: i, Test: x.pre.Test, PreRun: x.pre}
+		items[i] = WorkItem{ID: i, Test: x.pre.Test, PreRun: x.pre, ForceParams: c.force[x.pre.Test]}
 		items[i].PredSeconds = c.predict(items[i], x.secs)
 		preds[i] = items[i].PredSeconds
 		o.Stat().ItemQueued(items[i].ID, items[i].Test, items[i].PredSeconds)

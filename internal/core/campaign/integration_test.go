@@ -7,6 +7,7 @@ import (
 	"zebraconf/internal/apps/minihdfs"
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
 )
 
 // TestMinihdfsSubsetCampaign drives a real (non-synthetic) campaign over a
@@ -133,5 +134,63 @@ func TestMinimrCodecDependencyRule(t *testing.T) {
 	})
 	if res.TruePositives != 1 {
 		t.Fatalf("codec not found despite the dependency rule: %+v (missed %v)", res.Reported, res.Missed)
+	}
+}
+
+// TestConditionalReadHazardConvicted seeds the hazard the coverage
+// fallback exists for: dfs.image.compression.codec is read only when
+// dfs.image.compress is true, so the default-configuration pre-run never
+// observes it and the paper's read filter alone would generate zero
+// instances — silently passing an unsafe parameter. The mandatory
+// full-dispatch fallback must convict it with selection on or off, and
+// on a warm index too (the phase-2 edge recorded by the forced dispatch
+// keeps it generating).
+func TestConditionalReadHazardConvicted(t *testing.T) {
+	t.Parallel()
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := campaign.Options{
+		Params: []string{minihdfs.ParamImageCodec},
+		Tests:  []string{"TestCheckpoint"},
+		Seed:   9,
+	}
+	convicted := func(res *campaign.Result) bool {
+		for _, r := range res.Reported {
+			if r.Param == minihdfs.ParamImageCodec {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Cold index, selection off.
+	off := campaign.Run(app, base)
+	if !convicted(off) {
+		t.Fatalf("-select=all missed the conditional-read param: %+v", off.Reported)
+	}
+	// Cold index, selection on (no index yet — full dispatch).
+	onOpts := base
+	onOpts.SelectCoverage = true
+	on := campaign.Run(app, onOpts)
+	if !convicted(on) {
+		t.Fatalf("-select=coverage (cold) missed the conditional-read param: %+v", on.Reported)
+	}
+
+	// Warm index built from the forced run: the phase-2 execution read
+	// the codec, so the edge exists and selection keeps the test.
+	ix := coverage.Build(app.Name, base.Seed, "", on.Coverage, app.Schema())
+	if readers := ix.TestsReading(minihdfs.ParamImageCodec); len(readers) == 0 {
+		t.Fatal("forced dispatch did not record the conditional read edge")
+	}
+	warm := onOpts
+	warm.CoverageIndex = ix
+	wres := campaign.Run(app, warm)
+	if !convicted(wres) {
+		t.Fatalf("warm selection dropped the conditional-read param: %+v", wres.Reported)
+	}
+	if len(wres.DeselectedTests) != 0 {
+		t.Fatalf("the only test reads the param; deselected %v", wres.DeselectedTests)
 	}
 }

@@ -125,7 +125,7 @@ func (p *pipeline) doPreRun(idx int) {
 	c := p.exec
 	pre, d := c.run.PreRunTimed(p.tests[idx])
 	p.pres[idx] = pre
-	item := WorkItem{ID: idx, Test: pre.Test, PreRun: pre}
+	item := WorkItem{ID: idx, Test: pre.Test, PreRun: pre, ForceParams: c.force[pre.Test]}
 	item.PredSeconds = c.predict(item, d.Seconds())
 	c.o.Stat().ItemQueued(item.ID, item.Test, item.PredSeconds)
 

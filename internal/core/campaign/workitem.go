@@ -26,6 +26,12 @@ type WorkItem struct {
 	// advisory: it orders dispatch and arms speculation deadlines, and
 	// never influences what the item executes.
 	PredSeconds float64 `json:"pred_seconds,omitempty"`
+	// ForceParams lists parameters that must generate instances even when
+	// this item's pre-run observed no read of them — the coverage-driven
+	// full-dispatch fallback for conditionally-read parameters. Riding
+	// the item keeps the distributed worker byte-identical to the
+	// in-process path.
+	ForceParams []string `json:"force_params,omitempty"`
 }
 
 // BuildItems converts phase 1's pre-run reports into phase 2's work items.
@@ -89,6 +95,16 @@ type ItemResult struct {
 	// where items execute serially; the in-process path measures the
 	// campaign-wide delta instead).
 	LeakedGoroutines int64 `json:"leaked_goroutines,omitempty"`
+	// Coverage is the deduplicated sorted set of parameters this item's
+	// executions read, filled only by worker subprocesses (the
+	// in-process campaign's collector observes executions directly).
+	// The coordinator folds these edges into the campaign's coverage
+	// index — coverage rides the NDJSON protocol like everything else.
+	Coverage []string `json:"coverage,omitempty"`
+	// Replayed marks a result served from a previous run's item store by
+	// -mode rerun rather than executed; its execution counters are
+	// zeroed (replay costs nothing).
+	Replayed bool `json:"replayed,omitempty"`
 	// Spans carries the worker-local trace fragment for this item
 	// (populated only by worker subprocesses running with item tracing
 	// on). Span and parent IDs are local to the fragment, parent 0
@@ -126,7 +142,10 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 		return out
 	}
 	rep := item.PreRun.Report
-	instances := gen.Instances(item.PreRun, testgen.InstancesOptions{DisableRoundRobin: opts.DisableRoundRobin})
+	instances := gen.Instances(item.PreRun, testgen.InstancesOptions{
+		DisableRoundRobin: opts.DisableRoundRobin,
+		ForceParams:       item.ForceParams,
+	})
 	out.Instances = len(instances)
 	if len(instances) == 0 {
 		return out

@@ -1,0 +1,253 @@
+package coverage
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"zebraconf/internal/confkit"
+)
+
+func testSchema() *confkit.Registry {
+	r := confkit.NewRegistry()
+	r.Register(
+		confkit.Param{Name: "codec", Kind: confkit.Enum, Default: "plain",
+			Candidates: []string{"plain", "zip"}},
+		confkit.Param{Name: "buffer", Kind: confkit.Int, Default: "64"},
+		confkit.Param{Name: "dir", Kind: confkit.String, Default: "/tmp"},
+	)
+	return r
+}
+
+func TestCollectorDedupesAndSorts(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	c.Observe("TestA", []string{"dir", "codec", "codec"})
+	c.Observe("TestA", []string{"buffer", "dir"})
+	c.ObserveTest("TestB")
+	got, ok := c.Params("TestA")
+	if !ok || !reflect.DeepEqual(got, []string{"buffer", "codec", "dir"}) {
+		t.Fatalf("Params(TestA) = %v, %v; want sorted deduped set", got, ok)
+	}
+	if got, ok := c.Params("TestB"); !ok || len(got) != 0 {
+		t.Fatalf("Params(TestB) = %v, %v; want empty entry, true", got, ok)
+	}
+	if _, ok := c.Params("TestC"); ok {
+		t.Fatal("unobserved test reported an entry")
+	}
+	if tests := c.Tests(); !reflect.DeepEqual(tests, []string{"TestA", "TestB"}) {
+		t.Fatalf("Tests() = %v", tests)
+	}
+	// nil receiver is a no-op everywhere (runner paths with coverage off).
+	var nilC *Collector
+	nilC.Observe("TestX", []string{"p"})
+	nilC.ObserveTest("TestX")
+	if _, ok := nilC.Params("TestX"); ok {
+		t.Fatal("nil collector claimed an entry")
+	}
+}
+
+func TestParamDigestSensitivity(t *testing.T) {
+	t.Parallel()
+	base := confkit.Param{Name: "codec", Kind: confkit.Enum, Default: "plain",
+		Candidates: []string{"plain", "zip"}}
+	d0 := ParamDigest(&base)
+
+	changedDefault := base
+	changedDefault.Default = "zip"
+	if ParamDigest(&changedDefault) == d0 {
+		t.Fatal("default change did not move the digest")
+	}
+	changedCand := base
+	changedCand.Candidates = []string{"plain", "zip", "lz4"}
+	if ParamDigest(&changedCand) == d0 {
+		t.Fatal("candidate change did not move the digest")
+	}
+	changedDep := base
+	changedDep.DependsOn = []confkit.DependencyRule{{If: "zip", Then: "buffer", To: "1"}}
+	if ParamDigest(&changedDep) == d0 {
+		t.Fatal("dependency-rule change did not move the digest")
+	}
+	// Annotation-only edits must NOT invalidate reruns.
+	annotated := base
+	annotated.Truth = confkit.SafetyUnsafe
+	annotated.Why = "reason"
+	annotated.Doc = "docs"
+	if ParamDigest(&annotated) != d0 {
+		t.Fatal("annotation change moved the digest")
+	}
+	if ParamDigest(nil) != "absent" {
+		t.Fatal("nil param digest not canonical")
+	}
+}
+
+func TestTestDigestSensitivity(t *testing.T) {
+	t.Parallel()
+	pd := map[string]string{"a": "d1", "b": "d2"}
+	d0 := TestDigest("TestX", 7, "env", []string{"a", "b"}, pd)
+	if TestDigest("TestX", 7, "env", []string{"b", "a"}, pd) != d0 {
+		t.Fatal("param order changed the digest")
+	}
+	if TestDigest("TestX", 8, "env", []string{"a", "b"}, pd) == d0 {
+		t.Fatal("seed change did not move the digest")
+	}
+	if TestDigest("TestX", 7, "env2", []string{"a", "b"}, pd) == d0 {
+		t.Fatal("env key change did not move the digest")
+	}
+	pd2 := map[string]string{"a": "d1", "b": "DIFFERENT"}
+	if TestDigest("TestX", 7, "env", []string{"a", "b"}, pd2) == d0 {
+		t.Fatal("param digest change did not move the digest")
+	}
+}
+
+// TestIndexCanonicalBytes is the satellite bugfix property: two
+// collectors observing the same edges in different orders (as a local
+// pool and a sharded worker fleet would) freeze to byte-identical
+// index files.
+func TestIndexCanonicalBytes(t *testing.T) {
+	t.Parallel()
+	schema := testSchema()
+	c1 := NewCollector()
+	c1.Observe("TestA", []string{"codec", "buffer"})
+	c1.Observe("TestB", []string{"dir"})
+	c2 := NewCollector()
+	c2.Observe("TestB", []string{"dir"})
+	c2.Observe("TestA", []string{"buffer"})
+	c2.Observe("TestA", []string{"codec", "buffer"})
+
+	b1, err := Build("app", 7, "env", c1, schema).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Build("app", 7, "env", c2, schema).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("observation order changed the serialized index:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+func TestIndexValidAndChangedParams(t *testing.T) {
+	t.Parallel()
+	schema := testSchema()
+	c := NewCollector()
+	c.Observe("TestA", []string{"codec", "buffer"})
+	ix := Build("app", 7, "env", c, schema)
+
+	if !ix.Valid("TestA", 7, "env", schema) {
+		t.Fatal("fresh entry not valid under its own inputs")
+	}
+	if ix.Valid("TestA", 8, "env", schema) {
+		t.Fatal("entry valid under a different seed")
+	}
+	if ix.Valid("TestA", 7, "env2", schema) {
+		t.Fatal("entry valid under a different env key")
+	}
+	if ix.Valid("TestMissing", 7, "env", schema) {
+		t.Fatal("absent test valid")
+	}
+
+	// Flip one read parameter's default: only it should be named.
+	drifted := testSchema()
+	drifted.Lookup("codec").Default = "zip"
+	if ix.Valid("TestA", 7, "env", drifted) {
+		t.Fatal("entry still valid after a read param's default changed")
+	}
+	if got := ix.ChangedParams("TestA", drifted); !reflect.DeepEqual(got, []string{"codec"}) {
+		t.Fatalf("ChangedParams = %v, want [codec]", got)
+	}
+	// A drift in an UNread parameter must not invalidate the test.
+	unread := testSchema()
+	unread.Lookup("dir").Default = "/var"
+	if !ix.Valid("TestA", 7, "env", unread) {
+		t.Fatal("unread param drift invalidated the entry")
+	}
+}
+
+func TestIndexAdoptAndTestsReading(t *testing.T) {
+	t.Parallel()
+	schema := testSchema()
+	prev := NewCollector()
+	prev.Observe("TestA", []string{"codec"})
+	prev.Observe("TestB", []string{"buffer"})
+	prevIx := Build("app", 7, "env", prev, schema)
+
+	cur := NewCollector()
+	cur.Observe("TestB", []string{"buffer", "dir"})
+	ix := Build("app", 7, "env", cur, schema)
+	ix.Adopt(prevIx, []string{"TestA", "TestB", "TestGone"})
+
+	if e := ix.Tests["TestA"]; e == nil || !reflect.DeepEqual(e.Params, []string{"codec"}) {
+		t.Fatalf("adopted entry wrong: %+v", e)
+	}
+	// A fresh entry wins over the adopted one.
+	if e := ix.Tests["TestB"]; !reflect.DeepEqual(e.Params, []string{"buffer", "dir"}) {
+		t.Fatalf("Adopt overwrote a fresh entry: %+v", e)
+	}
+	if got := ix.TestsReading("buffer"); !reflect.DeepEqual(got, []string{"TestB"}) {
+		t.Fatalf("TestsReading(buffer) = %v", got)
+	}
+	if got := ix.TestsReading("codec"); !reflect.DeepEqual(got, []string{"TestA"}) {
+		t.Fatalf("TestsReading(codec) = %v", got)
+	}
+}
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if ix, err := Load(dir, "app"); err != nil || ix != nil {
+		t.Fatalf("cold load = %v, %v; want nil, nil", ix, err)
+	}
+	schema := testSchema()
+	c := NewCollector()
+	c.Observe("TestA", []string{"codec"})
+	ix := Build("app", 7, "env", c, schema)
+	if err := Save(dir, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := ix.Bytes()
+	b2, _ := got.Bytes()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("save/load round trip not byte-identical")
+	}
+	// Save into a nested directory that does not exist yet.
+	if err := Save(filepath.Join(dir, "a", "b"), ix); err != nil {
+		t.Fatalf("Save into missing dir: %v", err)
+	}
+}
+
+func TestItemStoreRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if st, err := LoadItems(dir, "app"); err != nil || st != nil {
+		t.Fatalf("cold item load = %v, %v; want nil, nil", st, err)
+	}
+	st := &ItemStore{App: "app", Items: map[string]json.RawMessage{
+		"TestA": json.RawMessage(`{"id":0}`),
+	}}
+	if err := SaveItems(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadItems(dir, "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MarshalIndent reformats the embedded raw JSON, so compare decoded
+	// values, not bytes.
+	var v struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(got.Items["TestA"], &v); err != nil || v.ID != 0 {
+		t.Fatalf("item round trip changed payload: %s (%v)", got.Items["TestA"], err)
+	}
+	if _, ok := got.Items["TestB"]; ok {
+		t.Fatal("phantom item after round trip")
+	}
+}

@@ -1,0 +1,59 @@
+package coverage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ItemStore persists a campaign's per-test item results as raw JSON,
+// keyed by test name, so -mode rerun can replay the verdicts of tests
+// whose coverage digest is unchanged without re-executing them. The
+// values are opaque here (campaign.ItemResult marshals them) to keep
+// the import direction coverage ← campaign.
+type ItemStore struct {
+	App   string                     `json:"app"`
+	Items map[string]json.RawMessage `json:"items"`
+}
+
+// ItemsPathFor locates app's item store inside a ledger directory.
+func ItemsPathFor(dir, app string) string {
+	return filepath.Join(dir, "items-"+app+".json")
+}
+
+// SaveItems writes the store under dir (created if needed).
+func SaveItems(dir string, st *ItemStore) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := ItemsPathFor(dir, st.App) + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, ItemsPathFor(dir, st.App))
+}
+
+// LoadItems reads app's item store from dir; missing is (nil, nil).
+func LoadItems(dir, app string) (*ItemStore, error) {
+	b, err := os.ReadFile(ItemsPathFor(dir, app))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var st ItemStore
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("item store %s: %w", ItemsPathFor(dir, app), err)
+	}
+	if st.Items == nil {
+		st.Items = make(map[string]json.RawMessage)
+	}
+	return &st, nil
+}

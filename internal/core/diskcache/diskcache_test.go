@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"zebraconf/internal/core/memo"
@@ -49,7 +50,7 @@ func TestRoundtripAndReopen(t *testing.T) {
 	}
 	s.Put(key(1), result(1))
 	got, ok := s.Get(key(1))
-	if !ok || got != result(1) {
+	if !ok || !reflect.DeepEqual(got, result(1)) {
 		t.Fatalf("Get after Put = %+v, %v; want %+v, true", got, ok, result(1))
 	}
 	st := s.Stats()
@@ -60,7 +61,7 @@ func TestRoundtripAndReopen(t *testing.T) {
 	// Persistence is the whole point: a fresh store over the same
 	// directory — a new server process — serves the entry.
 	s2 := open(t, dir, 0, nil)
-	if got, ok := s2.Get(key(1)); !ok || got != result(1) {
+	if got, ok := s2.Get(key(1)); !ok || !reflect.DeepEqual(got, result(1)) {
 		t.Fatalf("reopened Get = %+v, %v; want %+v, true", got, ok, result(1))
 	}
 }
@@ -175,13 +176,13 @@ func TestNextTierWriteThrough(t *testing.T) {
 	t.Parallel()
 	next := &memBackend{m: map[memo.Key]memo.Result{key(7): result(7)}}
 	s := open(t, t.TempDir(), 0, next)
-	if got, ok := s.Get(key(7)); !ok || got != result(7) {
+	if got, ok := s.Get(key(7)); !ok || !reflect.DeepEqual(got, result(7)) {
 		t.Fatalf("Get via next = %+v, %v; want %+v, true", got, ok, result(7))
 	}
 	if st := s.Stats(); st.Writes != 1 {
 		t.Fatalf("next's hit was not written through (stats %+v)", st)
 	}
-	if got, ok := s.Get(key(7)); !ok || got != result(7) {
+	if got, ok := s.Get(key(7)); !ok || !reflect.DeepEqual(got, result(7)) {
 		t.Fatal("written-through entry not served locally")
 	}
 	// Put forwards upward so the coordinator tier learns results too.

@@ -1,0 +1,161 @@
+package dist_test
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
+	"zebraconf/internal/core/dist"
+)
+
+// TestCoverageIndexLocalDistByteEquality is the canonicalization
+// satellite: the persisted coverage index must be byte-identical whether
+// the campaign ran in-process or sharded across worker subprocesses —
+// read edges ride home on item results, the collector dedupes and sorts,
+// and the serialized form has no order left to vary. Quarantine is
+// disabled (threshold no campaign reaches) because completion-order
+// pruning is the one legitimate execution difference between schedules.
+func TestCoverageIndexLocalDistByteEquality(t *testing.T) {
+	t.Parallel()
+	app, err := apps.ByName("minihdfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkOpts := func() campaign.Options {
+		return campaign.Options{
+			Params:              []string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+			Tests:               []string{"TestWriteRead", "TestFsck", "TestMkdirList"},
+			Seed:                7,
+			QuarantineThreshold: math.MaxInt32,
+		}
+	}
+
+	local := campaign.Run(app, mkOpts())
+	dres := runDistributed(t, app, mkOpts(), dist.Options{
+		Workers:   2,
+		WorkerCmd: workerFactory(),
+	})
+
+	lix := coverage.Build(app.Name, 7, "key", local.Coverage, app.Schema())
+	dix := coverage.Build(app.Name, 7, "key", dres.Coverage, app.Schema())
+	lb, err := lix.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dix.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lix.Tests) == 0 {
+		t.Fatal("local index is empty; the equality check is vacuous")
+	}
+	if !bytes.Equal(lb, db) {
+		t.Fatalf("local and distributed coverage indexes differ:\nlocal:\n%s\ndist:\n%s", lb, db)
+	}
+}
+
+// TestSelectionEquivalenceAllApps extends the five-app equivalence
+// invariant to coverage-driven selection: on a warm index, the reported
+// parameter set with -select=coverage must be identical to -select=all —
+// in-process and sharded across workers — while selection actually
+// skips tests somewhere in the matrix (otherwise the property is
+// vacuous).
+func TestSelectionEquivalenceAllApps(t *testing.T) {
+	cases := []struct {
+		app    string
+		params []string
+		tests  []string
+	}{
+		{"minihdfs",
+			[]string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+			[]string{"TestWriteRead", "TestFsck", "TestMkdirList"}},
+		{"miniyarn",
+			[]string{"yarn.scheduler.maximum-allocation-mb", "yarn.timeline-service.enabled"},
+			[]string{"TestAllocationAtMaxMB", "TestTimelineQuery", "TestSubmitApplication"}},
+		{"minihbase",
+			[]string{"hadoop.rpc.protection", "hbase.client.scanner.caching", "hbase.regionserver.thrift.compact"},
+			[]string{"TestPutGet", "TestThriftAdmin"}},
+		{"minimr",
+			[]string{"mapreduce.jobhistory.max-age-ms", "mapreduce.jobhistory.address", "mapreduce.map.output.compress.codec"},
+			[]string{"TestWordCount", "TestHistoryArchive"}},
+		{"miniflink",
+			[]string{"akka.ssl.enabled", "taskmanager.numberOfTaskSlots"},
+			[]string{"TestJobSubmission", "TestSlotAllocationExact", "TestDataExchange"}},
+	}
+	const seed = 7
+	totalDeselected := 0
+	done := make(chan int, len(cases))
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			t.Parallel()
+			app, err := apps.ByName(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkOpts := func(selectCov bool, ix *coverage.Index) campaign.Options {
+				return campaign.Options{
+					Params:              tc.params,
+					Tests:               tc.tests,
+					Seed:                seed,
+					QuarantineThreshold: math.MaxInt32,
+					SelectCoverage:      selectCov,
+					CoverageIndex:       ix,
+				}
+			}
+			names := func(res *campaign.Result) []string {
+				out := []string{}
+				for _, r := range res.Reported {
+					out = append(out, r.Param)
+				}
+				return out
+			}
+
+			// Cold full run seeds the index.
+			cold := campaign.Run(app, mkOpts(false, nil))
+			if len(cold.Reported) == 0 {
+				t.Fatalf("%s subset reported nothing; the equivalence check is vacuous", tc.app)
+			}
+			ix := coverage.Build(app.Name, seed, "", cold.Coverage, app.Schema())
+
+			on := campaign.Run(app, mkOpts(true, ix))
+			off := campaign.Run(app, mkOpts(false, ix))
+			if !reflect.DeepEqual(names(on), names(cold)) {
+				t.Fatalf("warm -select=coverage diverges:\n cold %v\n on   %v", names(cold), names(on))
+			}
+			if !reflect.DeepEqual(names(off), names(cold)) {
+				t.Fatalf("warm -select=all diverges:\n cold %v\n off  %v", names(cold), names(off))
+			}
+			if len(off.DeselectedTests) != 0 {
+				t.Fatalf("-select=all deselected %v", off.DeselectedTests)
+			}
+
+			// The same warm-selection run sharded across workers.
+			dres := runDistributed(t, app, mkOpts(true, ix), dist.Options{
+				Workers:   2,
+				WorkerCmd: workerFactory(),
+			})
+			if !reflect.DeepEqual(names(dres), names(cold)) {
+				t.Fatalf("workers=2 warm selection diverges:\n cold %v\n dist %v", names(cold), names(dres))
+			}
+			if !reflect.DeepEqual(dres.DeselectedTests, on.DeselectedTests) {
+				t.Fatalf("deselection differs local vs dist: %v vs %v",
+					on.DeselectedTests, dres.DeselectedTests)
+			}
+			done <- len(on.DeselectedTests)
+		})
+	}
+	t.Cleanup(func() {
+		close(done)
+		for n := range done {
+			totalDeselected += n
+		}
+		if totalDeselected == 0 {
+			t.Error("no app deselected any test; the selection property was never exercised")
+		}
+	})
+}

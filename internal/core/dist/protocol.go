@@ -126,6 +126,11 @@ type Config struct {
 	Significance      float64  `json:"significance,omitempty"`
 	MaxRounds         int      `json:"max_rounds,omitempty"`
 	Seed              int64    `json:"seed,omitempty"`
+	// Overrides replaces schema parameter defaults worker-side (the
+	// -override flag): workers resolve apps themselves, so default
+	// overrides must ride the wire to keep every execution path
+	// byte-identical to the coordinator's.
+	Overrides map[string]string `json:"overrides,omitempty"`
 	// DisableExecCache turns execution memoization off everywhere: no
 	// worker-local caches and no coordinator-side shared cache.
 	DisableExecCache bool `json:"disable_exec_cache,omitempty"`
@@ -181,6 +186,7 @@ func ConfigFrom(opts campaign.Options) Config {
 		Significance:      opts.Significance,
 		MaxRounds:         opts.MaxRounds,
 		Seed:              opts.Seed,
+		Overrides:         opts.Overrides,
 		DisableExecCache:  opts.DisableExecCache,
 		EvidenceMax:       opts.EvidenceMax,
 	}
@@ -200,6 +206,7 @@ func (c Config) CampaignOptions() campaign.Options {
 		Significance:      c.Significance,
 		MaxRounds:         c.MaxRounds,
 		Seed:              c.Seed,
+		Overrides:         c.Overrides,
 		DisableExecCache:  c.DisableExecCache,
 		EvidenceMax:       c.EvidenceMax,
 	}

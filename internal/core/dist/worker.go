@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
@@ -109,6 +110,9 @@ func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App
 	if opts.QuarantineThreshold <= 0 {
 		opts.QuarantineThreshold = 3
 	}
+	// Default overrides apply before anything reads the schema, exactly
+	// as the coordinator applies them in campaign.Run.
+	app = campaign.OverrideApp(app, opts.Overrides)
 	schema := app.Schema()
 	// Execution memoization: a worker-local cache spanning this session's
 	// items, optionally backed by the coordinator's shared cache so runs
@@ -154,6 +158,11 @@ func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App
 	// registries are not merged; the coordinator replays evidence counters
 	// from the records riding in each item result.
 	rec := forensics.NewRecorder(app.Name, cfg.EvidenceMax, nil)
+	// Coverage: one collector for the session; each item's read edges
+	// ship home on its result, where the coordinator folds them into the
+	// campaign index. Cache hits replay their memoized read sets through
+	// the runner, so a fully warm worker still reports complete coverage.
+	cov := coverage.NewCollector()
 	rops := runner.Options{
 		Significance:     opts.Significance,
 		MaxRounds:        opts.MaxRounds,
@@ -163,6 +172,7 @@ func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App
 		Cache:            cache,
 		CacheLabelSeeded: cachePersistent,
 		Evidence:         rec,
+		Coverage:         cov,
 	}
 	run := runner.New(app, rops)
 	parallel := cfg.Parallel
@@ -301,6 +311,9 @@ func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App
 				itemOpts.Obs = itemObs
 			}
 			res := campaign.ExecuteItem(app, gen, itemRun, itemOpts, obs.NoSpan, item, nil, true)
+			if params, ok := cov.Params(item.Test); ok {
+				res.Coverage = params
+			}
 			if traceBuf != nil {
 				// Every span ends before ExecuteItem returns, so the
 				// fragment is complete; a parse error just drops it

@@ -115,6 +115,16 @@ type Outcome struct {
 	LogDroppedMsgs  int               `json:"log_dropped_msgs,omitempty"`
 	Reads           []agent.ReadEvent `json:"reads,omitempty"`
 	ReadsDropped    int               `json:"reads_dropped,omitempty"`
+
+	// Coverage sink, populated only when opts.Coverage (or
+	// opts.CoverageSites) was set — independent of CaptureSpec, because
+	// the forensic trace above is capped and coverage must not be:
+	// ReadParams is the full deduplicated sorted set of parameters the
+	// execution read, regardless of how many reads the trace dropped.
+	ReadParams []string `json:"read_params,omitempty"`
+	// ReadSites maps a read parameter to its sorted app-frame callsites
+	// (only with opts.CoverageSites — pre-runs).
+	ReadSites map[string][]string `json:"read_sites,omitempty"`
 }
 
 // CaptureSpec bounds what RunOnceCaptured records per execution. The
@@ -205,6 +215,10 @@ func RunOnceCaptured(app *App, test *UnitTest, opts agent.Options, seed int64, o
 		out.Logs = logs
 		out.LogDroppedBytes, out.LogDroppedMsgs = t.LogDropped()
 		out.Reads, out.ReadsDropped = ag.ReadTrace()
+	}
+	if opts.Coverage || opts.CoverageSites {
+		out.ReadParams = ag.CoverageParams()
+		out.ReadSites = ag.CoverageSites()
 	}
 	// Stop nodes before reading the report so no new confs appear mid-read.
 	env.Close()

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"zebraconf/internal/confkit"
+	"zebraconf/internal/core/agent"
+)
+
+// TestCoverageSurvivesReadTraceCap is the read-trace-plumbing bugfix
+// regression: the forensic read trace is ring-capped at
+// CaptureSpec.ReadEvents and silently drops everything past the cap, so
+// coverage must NOT flow through it. A test reading far more distinct
+// parameters than the cap still yields the complete deduplicated read
+// set through the uncapped coverage sink.
+func TestCoverageSurvivesReadTraceCap(t *testing.T) {
+	t.Parallel()
+	const numParams = 300
+	const cap = 16
+
+	schema := func() *confkit.Registry {
+		r := confkit.NewRegistry()
+		for i := 0; i < numParams; i++ {
+			r.Register(confkit.Param{
+				Name: fmt.Sprintf("wide.param.%03d", i), Kind: confkit.Int, Default: "1"})
+		}
+		return r
+	}
+	app := &App{Name: "wide", Schema: schema, NodeTypes: []string{"Node"}}
+	test := &UnitTest{
+		Name: "TestReadsEverything",
+		Run: func(t *T) {
+			conf := t.Env.RT.NewConf()
+			for i := 0; i < numParams; i++ {
+				_ = conf.GetInt(fmt.Sprintf("wide.param.%03d", i))
+			}
+			// Read a few twice: coverage must dedupe, the trace does not.
+			_ = conf.GetInt("wide.param.000")
+			_ = conf.GetInt("wide.param.001")
+		},
+	}
+
+	out := RunOnceCaptured(app, test, agent.Options{Coverage: true}, 1, nil,
+		CaptureSpec{ReadEvents: cap})
+	if out.Failed {
+		t.Fatalf("wide-read test failed: %s", out.Msg)
+	}
+	if len(out.Reads) != cap {
+		t.Fatalf("forensic trace kept %d reads, want exactly the cap %d", len(out.Reads), cap)
+	}
+	if out.ReadsDropped == 0 {
+		t.Fatal("trace dropped nothing despite reading past its cap")
+	}
+	if len(out.ReadParams) != numParams {
+		t.Fatalf("coverage sink saw %d params, want all %d — reads were lost to the trace cap",
+			len(out.ReadParams), numParams)
+	}
+	for i := 1; i < len(out.ReadParams); i++ {
+		if out.ReadParams[i-1] >= out.ReadParams[i] {
+			t.Fatalf("ReadParams not sorted/deduped at %d: %q >= %q",
+				i, out.ReadParams[i-1], out.ReadParams[i])
+		}
+	}
+
+	// Coverage works without any capture spec at all — cache-warm
+	// phase-2 paths run captureless but still need read sets.
+	bare := RunOnceCaptured(app, test, agent.Options{Coverage: true}, 1, nil, CaptureSpec{})
+	if len(bare.Reads) != 0 {
+		t.Fatal("captureless run recorded a forensic trace")
+	}
+	if len(bare.ReadParams) != numParams {
+		t.Fatalf("captureless coverage saw %d params, want %d", len(bare.ReadParams), numParams)
+	}
+
+	// And with coverage off the sink stays empty (no accidental cost).
+	off := RunOnceCaptured(app, test, agent.Options{}, 1, nil, CaptureSpec{ReadEvents: cap})
+	if len(off.ReadParams) != 0 || off.ReadSites != nil {
+		t.Fatal("coverage-off run populated the sink")
+	}
+}
+
+// TestCoverageSitesRecordCallsites checks the pre-run variant: with
+// CoverageSites on, each read parameter maps to at least one repo-frame
+// callsite, and sites dedupe per (param, site).
+func TestCoverageSitesRecordCallsites(t *testing.T) {
+	t.Parallel()
+	schema := func() *confkit.Registry {
+		r := confkit.NewRegistry()
+		r.Register(confkit.Param{Name: "p.one", Kind: confkit.Int, Default: "1"})
+		return r
+	}
+	app := &App{Name: "sited", Schema: schema, NodeTypes: []string{"Node"}}
+	test := &UnitTest{
+		Name: "TestReadsOne",
+		Run: func(t *T) {
+			conf := t.Env.RT.NewConf()
+			for i := 0; i < 3; i++ { // same callsite three times
+				_ = conf.GetInt("p.one")
+			}
+		},
+	}
+	out := RunOnceCaptured(app, test, agent.Options{Coverage: true, CoverageSites: true}, 1, nil, CaptureSpec{})
+	if len(out.ReadParams) != 1 || out.ReadParams[0] != "p.one" {
+		t.Fatalf("ReadParams = %v", out.ReadParams)
+	}
+	sites := out.ReadSites["p.one"]
+	if len(sites) != 1 {
+		t.Fatalf("callsites not deduped: %v", sites)
+	}
+}

@@ -66,6 +66,14 @@ type Record struct {
 	// evidence budget statistics of this run's report.
 	EvidenceRecords int   `json:"evidence_records,omitempty"`
 	EvidenceBytes   int64 `json:"evidence_bytes,omitempty"`
+	// Coverage-selection and incremental-rerun accounting.
+	// DeselectedTests counts tests coverage-driven selection skipped;
+	// ChangedTests / ReplayedTests partition a -mode rerun (both zero
+	// for a normal run). Deltas over these fields are advisory, like
+	// executions: the equivalence invariant pins only the reported set.
+	DeselectedTests int `json:"deselected_tests,omitempty"`
+	ChangedTests    int `json:"changed_tests,omitempty"`
+	ReplayedTests   int `json:"replayed_tests,omitempty"`
 }
 
 // Summarize condenses one finished campaign into a Record: the sorted
@@ -112,6 +120,7 @@ func Summarize(res *campaign.Result, seed int64, start time.Time, workers int, f
 		QuarantinedItems: len(res.QuarantinedItems),
 		EvidenceRecords:  evRecords,
 		EvidenceBytes:    evBytes,
+		DeselectedTests:  len(res.DeselectedTests),
 	}
 }
 

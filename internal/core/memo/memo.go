@@ -34,12 +34,19 @@ type Key struct {
 	Seed   int64  `json:"seed"`
 }
 
-// Result is the cacheable outcome of one execution — exactly the fields
-// verdict logic consumes from a harness outcome.
+// Result is the cacheable outcome of one execution — the fields verdict
+// logic consumes from a harness outcome, plus the execution's coverage
+// read set. Reads rides every cache tier (memory, disk, coordinator) so
+// a cache hit — which skips the agent entirely — can still replay its
+// coverage edges into the index; without it a warm rerun would build an
+// empty index and select nothing. Entries written by coverage-disabled
+// runs carry no Reads and degrade conservatively (no edge, no
+// deselection).
 type Result struct {
-	Failed   bool   `json:"failed,omitempty"`
-	TimedOut bool   `json:"timed_out,omitempty"`
-	Msg      string `json:"msg,omitempty"`
+	Failed   bool     `json:"failed,omitempty"`
+	TimedOut bool     `json:"timed_out,omitempty"`
+	Msg      string   `json:"msg,omitempty"`
+	Reads    []string `json:"reads,omitempty"`
 }
 
 // Backend is a second-level store behind a Cache's in-process map; the

@@ -2,6 +2,7 @@ package memo
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,7 +131,7 @@ func TestDoMemoizes(t *testing.T) {
 	if !reused || ran != 1 {
 		t.Fatalf("second Do must reuse: reused=%v ran=%d", reused, ran)
 	}
-	if first != second {
+	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("cached result differs: %+v vs %+v", first, second)
 	}
 	// A different key executes again.
@@ -181,7 +182,7 @@ func TestSingleflightCoalesces(t *testing.T) {
 	}
 	executed := 0
 	for i := range results {
-		if results[i] != (Result{Failed: true, Msg: "once"}) {
+		if !reflect.DeepEqual(results[i], Result{Failed: true, Msg: "once"}) {
 			t.Fatalf("caller %d got %+v", i, results[i])
 		}
 		if !reuseds[i] {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/agent"
+	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
@@ -125,6 +126,12 @@ type Options struct {
 	// counts) and charges it against the recorder's campaign-wide
 	// budget. Nil disables capture entirely.
 	Evidence *forensics.Recorder
+	// Coverage, when non-nil, receives every execution's deduplicated
+	// read set — pre-runs with callsites, phase-2 runs params-only, and
+	// cache hits replayed from the memoized Reads — building the
+	// param→tests index for coverage-driven selection. Nil disables the
+	// sink at no cost.
+	Coverage *coverage.Collector
 }
 
 // Runner executes instances against one application.
@@ -182,8 +189,10 @@ func (r *Runner) executeSpec(test *harness.UnitTest, assign map[agent.Key]string
 	out := harness.RunOnceCaptured(r.app, test, agent.Options{
 		Strategy: r.opts.Strategy,
 		Assign:   assign,
+		Coverage: r.opts.Coverage != nil,
 	}, seed, r.opts.Obs, spec)
 	r.opts.Obs.RecordExecution(r.app.Name, arm, out.Failed)
+	r.opts.Coverage.Observe(test.Name, out.ReadParams)
 	return out
 }
 
@@ -213,10 +222,13 @@ func (r *Runner) runLabelSeeded(parent obs.SpanID, test *harness.UnitTest, assig
 	key := memo.Key{App: r.app.Name, Test: test.Name, Assign: memo.HashAssignment(assign), Seed: seed}
 	res, reused := r.opts.Cache.Do(key, func() memo.Result {
 		out = r.execute(test, assign, seed, arm)
-		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg}
+		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg, Reads: out.ReadParams}
 	})
 	if reused {
 		out = harness.Outcome{Failed: res.Failed, TimedOut: res.TimedOut, Msg: res.Msg}
+		// The hit skipped the agent; replay the memoized read set so the
+		// coverage index stays complete on warm runs.
+		r.opts.Coverage.Observe(test.Name, res.Reads)
 		s := r.opts.Obs.StartSpan("cache-hit", parent,
 			obs.String("app", r.app.Name),
 			obs.String("test", test.Name),
@@ -244,10 +256,11 @@ func (r *Runner) runCanonical(parent obs.SpanID, test *harness.UnitTest, assign 
 	key = memo.Key{App: r.app.Name, Test: test.Name, Assign: hash, Seed: seed}
 	res, reused := r.opts.Cache.Do(key, func() memo.Result {
 		out = r.execute(test, assign, seed, arm)
-		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg}
+		return memo.Result{Failed: out.Failed, TimedOut: out.TimedOut, Msg: out.Msg, Reads: out.ReadParams}
 	})
 	if reused {
 		out = harness.Outcome{Failed: res.Failed, TimedOut: res.TimedOut, Msg: res.Msg}
+		r.opts.Coverage.Observe(test.Name, res.Reads)
 		s := r.opts.Obs.StartSpan("cache-hit", parent,
 			obs.String("app", r.app.Name),
 			obs.String("test", test.Name),
@@ -272,8 +285,19 @@ func (r *Runner) PreRun(test *harness.UnitTest) testgen.PreRun {
 func (r *Runner) PreRunTimed(test *harness.UnitTest) (testgen.PreRun, time.Duration) {
 	start := time.Now()
 	r.executions.Add(1)
-	out := harness.RunOnceObserved(r.app, test, agent.Options{Strategy: r.opts.Strategy}, seedFor(r.opts.BaseSeed, test.Name, "prerun", 0), r.opts.Obs)
+	out := harness.RunOnceObserved(r.app, test, agent.Options{
+		Strategy: r.opts.Strategy,
+		// Pre-runs are the one stack-walk-enabled execution per test:
+		// cheap (once per campaign) and the index's callsite source.
+		Coverage:      r.opts.Coverage != nil,
+		CoverageSites: r.opts.Coverage != nil,
+	}, seedFor(r.opts.BaseSeed, test.Name, "prerun", 0), r.opts.Obs)
 	r.opts.Obs.RecordExecution(r.app.Name, "prerun", out.Failed)
+	if r.opts.Coverage != nil {
+		r.opts.Coverage.ObserveTest(test.Name)
+		r.opts.Coverage.Observe(test.Name, out.ReadParams)
+		r.opts.Coverage.ObserveSites(test.Name, out.ReadSites)
+	}
 	return testgen.PreRun{Test: test.Name, Report: out.Report}, time.Since(start)
 }
 
@@ -338,7 +362,7 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 				// (or a later instance of the same trial) replays it.
 				r.opts.Cache.Record(
 					memo.Key{App: r.app.Name, Test: test.Name, Assign: memo.HashAssignment(asn.Hetero), Seed: seed},
-					memo.Result{Failed: het.Failed, TimedOut: het.TimedOut, Msg: het.Msg})
+					memo.Result{Failed: het.Failed, TimedOut: het.TimedOut, Msg: het.Msg, Reads: het.ReadParams})
 			}
 			if ev == nil || het.Failed {
 				ev = forensics.FromOutcome(r.app.Name, test.Name, seed, round, het)

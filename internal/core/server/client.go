@@ -52,6 +52,10 @@ type SubmitRequest struct {
 	// HeartbeatMS is the worker heartbeat period (default 1000; 0 after
 	// explicit negative disables — match the CLI by omitting instead).
 	HeartbeatMS int `json:"heartbeat_ms,omitempty"`
+	// Select chooses phase-2 test selection: "coverage" (default — skip
+	// tests whose indexed read set is disjoint from the campaign's
+	// params, when the server's ledger holds a warm index) or "all".
+	Select string `json:"select,omitempty"`
 }
 
 // EffectiveWorkers defaults to 2 — the smallest fleet that exercises
@@ -68,6 +72,13 @@ func (r SubmitRequest) EffectiveSched() string {
 		return "lpt"
 	}
 	return r.Sched
+}
+
+func (r SubmitRequest) EffectiveSelect() string {
+	if r.Select == "" {
+		return "coverage"
+	}
+	return r.Select
 }
 
 func (r SubmitRequest) EffectiveExecCache() bool { return r.ExecCache == nil || *r.ExecCache }
@@ -139,6 +150,7 @@ func (r SubmitRequest) ExecFlags() map[string]string {
 		"worker-parallel": fmt.Sprint(r.WorkerParallel),
 		"item-timeout":    r.EffectiveItemTimeout().String(),
 		"item-retries":    fmt.Sprint(r.EffectiveItemRetries()),
+		"select":          r.EffectiveSelect(),
 	}
 }
 
@@ -149,6 +161,9 @@ func (r SubmitRequest) Validate() error {
 	}
 	if _, err := sched.ParsePolicy(r.EffectiveSched()); err != nil {
 		return err
+	}
+	if s := r.EffectiveSelect(); s != "coverage" && s != "all" {
+		return fmt.Errorf("server: bad select %q (want coverage or all)", s)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/dist"
 	"zebraconf/internal/core/forensics"
@@ -359,8 +360,20 @@ func (s *Server) runCampaign(c *Campaign) {
 		Profile:             s.profile,
 		QuarantineThreshold: quarThreshold,
 		EvidenceMax:         req.EffectiveEvidenceMax(),
+		SelectCoverage:      req.EffectiveSelect() == "coverage",
 		Obs:                 c.o,
 	}
+	// Coverage-driven selection reads the server ledger's index exactly
+	// as the CLI reads a -ledger directory's: the environment key is the
+	// request's flags digest, so a submitted campaign only trusts entries
+	// recorded under matching execution-affecting settings.
+	ledgerDir := filepath.Join(s.opts.StateDir, "ledger")
+	copts.CoverageKey = ledger.DigestFlags(req.ExecFlags())
+	prevIx, cerr := coverage.Load(ledgerDir, app.Name)
+	if cerr != nil {
+		s.logf("campaign %s: reading coverage index: %v", c.id, cerr)
+	}
+	copts.CoverageIndex = prevIx
 	if execCache {
 		// The campaign's in-process memo cache (pre-runs and any local
 		// executions) reads and feeds the same persistent store the
@@ -412,6 +425,13 @@ func (s *Server) runCampaign(c *Campaign) {
 	res := campaign.Run(app, copts)
 	if adapter.run != nil {
 		res.WorkerStalls = adapter.run.Stalls()
+	}
+	if res.Coverage != nil {
+		ix := coverage.Build(app.Name, req.Seed, copts.CoverageKey, res.Coverage, app.Schema())
+		ix.Adopt(prevIx, res.DeselectedTests)
+		if serr := coverage.Save(ledgerDir, ix); serr != nil {
+			s.logf("campaign %s: writing coverage index: %v", c.id, serr)
+		}
 	}
 	if err := s.profile.Save(filepath.Join(s.opts.StateDir, "profile.json")); err != nil {
 		s.logf("campaign %s: saving duration profile: %v", c.id, err)

@@ -141,6 +141,20 @@ func eligibleGroups(rep *agent.Report, param string) []string {
 	return groups
 }
 
+// fallbackGroups is the full-dispatch entity set for forced parameters:
+// every started node type plus the unit test, sorted. Without pre-run
+// read evidence there is no sharper assignment target than "everyone".
+func fallbackGroups(rep *agent.Report) []string {
+	groups := []string{agent.UnitTestEntity}
+	for entity, n := range rep.NodesStarted {
+		if n > 0 {
+			groups = append(groups, entity)
+		}
+	}
+	sort.Strings(groups)
+	return groups
+}
+
 // uncertainSet converts the report's uncertain parameter list to a set.
 func uncertainSet(rep *agent.Report) map[string]bool {
 	set := make(map[string]bool, len(rep.UncertainParams))
@@ -160,6 +174,13 @@ type InstancesOptions struct {
 	// DisableRoundRobin drops the within-type strategy (the E12 ablation:
 	// same-type heterogeneity bugs become invisible).
 	DisableRoundRobin bool
+	// ForceParams lists parameters that must generate instances even when
+	// the pre-run observed no entity reading them: coverage-driven
+	// selection's full-dispatch fallback. A parameter read only under its
+	// heterogeneous value (a conditional read) is invisible to the
+	// pre-run — the §4 filter would silently drop it — so forced params
+	// fall back to assigning every started node type plus the unit test.
+	ForceParams []string
 }
 
 // Instances generates every leaf instance for one pre-run unit test,
@@ -173,6 +194,10 @@ func (g *Generator) Instances(pre PreRun, opts InstancesOptions) []Instance {
 		return nil
 	}
 	uncertain := uncertainSet(rep)
+	forced := make(map[string]bool, len(opts.ForceParams))
+	for _, p := range opts.ForceParams {
+		forced[p] = true
+	}
 	var out []Instance
 	for _, p := range g.schema.Params() {
 		if !g.InFilter(p.Name) || g.Quarantined(p.Name) {
@@ -182,6 +207,9 @@ func (g *Generator) Instances(pre PreRun, opts InstancesOptions) []Instance {
 			continue
 		}
 		groups := eligibleGroups(rep, p.Name)
+		if len(groups) == 0 && forced[p.Name] {
+			groups = fallbackGroups(rep)
+		}
 		if len(groups) == 0 {
 			continue
 		}
