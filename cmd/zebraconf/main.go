@@ -46,6 +46,7 @@ import (
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
 	"zebraconf/internal/core/server"
+	"zebraconf/internal/core/stats"
 	"zebraconf/internal/obs"
 )
 
@@ -71,6 +72,10 @@ func main() {
 		// Verdict forensics (internal/core/forensics).
 		evidenceMax = flag.Int64("evidence-max", forensics.DefaultBudget, "campaign-wide evidence byte budget (per worker with -workers): records degrade to verdict-only past it; 0 disables forensic capture, negative is unlimited")
 		onlyParam   = flag.String("param", "", "with -mode explain: report only this parameter (error if it was not reported)")
+
+		// Sequential confirmation (internal/core/stats).
+		seqFlag   = flag.String("seq", "sprt", "sequential confirmation mode: sprt (SPRT convict/futility boundaries) | gsf (group-sequential Fisher, alpha-spending) | fixed (full-round ablation)")
+		seqMargin = flag.Float64("seq-margin", runner.DefaultSeqMargin, "budget reallocation: parameters ending within this factor x significance receive extension rounds funded by early stops; 0 disables")
 
 		// Adaptive scheduling (internal/core/sched).
 		schedFlag   = flag.String("sched", "lpt", "phase-2 dispatch order: lpt (longest-predicted first) | fifo (ablation)")
@@ -183,6 +188,8 @@ func main() {
 			NoGate:             *noGate,
 			ExecCache:          execCache,
 			Sched:              *schedFlag,
+			Seq:                *seqFlag,
+			SeqMargin:          seqMargin,
 			Stream:             stream,
 			Speculate:          speculate,
 			Quarantine:         quarantine,
@@ -336,6 +343,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		seqMode, err := stats.ParseSeqMode(*seqFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		// The duration profile is read for predictions (LPT ordering,
 		// speculation deadlines) and updated in place with this campaign's
 		// timings, so every run sharpens the next one's schedule.
@@ -360,6 +372,8 @@ func main() {
 			Params:              splitList(*params),
 			Tests:               splitList(*tests),
 			Seed:                *seed,
+			Seq:                 seqMode,
+			SeqMargin:           *seqMargin,
 			SchedPolicy:         policy,
 			Stream:              *stream,
 			Profile:             profile,
@@ -416,6 +430,8 @@ func main() {
 			"thread-only":     fmt.Sprint(*threadOnly),
 			"max-pool":        fmt.Sprint(*maxPool),
 			"sched":           *schedFlag,
+			"seq":             *seqFlag,
+			"seq-margin":      fmt.Sprint(*seqMargin),
 			"stream":          fmt.Sprint(*stream),
 			"speculate":       fmt.Sprint(*speculate),
 			"quarantine":      fmt.Sprint(*quarantine),

@@ -18,6 +18,7 @@ import (
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
+	"zebraconf/internal/core/stats"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
 )
@@ -63,6 +64,16 @@ type Options struct {
 	// Significance and MaxRounds pass through to the TestRunner.
 	Significance float64
 	MaxRounds    int
+	// Seq selects the confirmation-trial stopping rule (the -seq flag):
+	// the zero value is stats.SeqSPRT — sequential early stopping on by
+	// default — and stats.SeqFixed restores the fixed-budget ablation.
+	Seq stats.SeqMode
+	// SeqMargin is the budget-reallocation margin passed to the runner:
+	// a budget-exhausted instance whose p-value is within this factor of
+	// the significance level draws extension rounds from the campaign's
+	// trial budget pool. Zero means the runner default (50); negative
+	// disables reallocation.
+	SeqMargin float64
 	// Seed is the campaign's base seed, mixed into every per-run seed
 	// derivation so whole campaigns are reproducible-by-flag across both
 	// the in-process and distributed execution paths. Zero is simply the
@@ -148,6 +159,13 @@ type ParamReport struct {
 	Tests []string
 	// MinP is the smallest confirming p-value observed.
 	MinP float64
+	// Rounds, Trials, and StopReason describe the first confirming
+	// instance (by item order): how many confirmation rounds it ran, how
+	// many unit-test trials those consumed, and why the sequential test
+	// stopped (convicted / futility / budget).
+	Rounds     int    `json:",omitempty"`
+	Trials     int64  `json:",omitempty"`
+	StopReason string `json:",omitempty"`
 	// Evidence is the forensic record of the first confirming instance
 	// (by item order), nil unless the campaign ran with EvidenceMax set.
 	Evidence *forensics.Evidence `json:",omitempty"`
@@ -175,6 +193,14 @@ type Result struct {
 	FirstTrialSignals    int
 	FilteredByHypothesis int
 	HomoInvalid          int
+
+	// ConfirmationTrials counts unit-test trials spent in confirmation
+	// rounds (rounds after the screening round) across every leaf
+	// instance. Derived exactly from each instance's trial count — every
+	// round costs Trials/(Rounds+1) trials, Rounds of which are
+	// confirmation — so the figure is invariant across execution paths
+	// and is the denominator the sequential-stopping ablation compares.
+	ConfirmationTrials int64
 
 	// SkippedTests lists pre-run tests that could not be resolved again
 	// in phase 2 (a registration inconsistency); they produced no
@@ -242,6 +268,9 @@ type paramStats struct {
 	minP     float64
 	example  string
 	evidence *forensics.Evidence
+	rounds   int
+	trials   int64
+	stop     string
 }
 
 // DefaultParallelism is the default concurrent unit-test budget: the
@@ -283,10 +312,21 @@ func Run(app *harness.App, opts Options) *Result {
 		cache = memo.NewCache(app.Name, opts.CacheBackend, opts.Obs)
 	}
 	cov := coverage.NewCollector()
+	// The trial budget pool spans the whole campaign: rounds saved by
+	// early stops anywhere fund extension rounds for marginal instances
+	// anywhere else. Fixed mode gets no pool — the ablation must spend
+	// exactly the legacy budget.
+	var pool *stats.BudgetPool
+	if opts.Seq != stats.SeqFixed {
+		pool = stats.NewBudgetPool()
+	}
 	run := runner.New(app, runner.Options{
 		Significance: opts.Significance,
 		MaxRounds:    opts.MaxRounds,
 		DisableGate:  opts.DisableGate,
+		Seq:          opts.Seq,
+		SeqMargin:    opts.SeqMargin,
+		Pool:         pool,
 		Strategy:     opts.Strategy,
 		BaseSeed:     opts.Seed,
 		Obs:          opts.Obs,
@@ -446,7 +486,7 @@ func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.P
 	for i, x := range tp {
 		pres[i] = x.pre
 		items[i] = WorkItem{ID: i, Test: x.pre.Test, PreRun: x.pre, ForceParams: c.force[x.pre.Test]}
-		items[i].PredSeconds = c.predict(items[i], x.secs)
+		items[i].PredSeconds, items[i].PredTrials = c.predict(items[i], x.secs)
 		preds[i] = items[i].PredSeconds
 		o.Stat().ItemQueued(items[i].ID, items[i].Test, items[i].PredSeconds)
 	}
@@ -479,22 +519,25 @@ func (c *campaignExec) runBarriered(tests []*harness.UnitTest) (pres []testgen.P
 		t0 := time.Now()
 		c.noteDispatch(it)
 		r := ExecuteItem(app, c.gen, c.run, opts, span, it, onUnsafe, false)
-		c.observeItem(it, time.Since(t0))
+		c.observeItem(it, time.Since(t0), r.Executions)
 		return r
 	})
 	return pres, itemResults, harness.AbandonedGoroutines() - leakBase
 }
 
-// predict estimates one item's wall clock in seconds: the profile's
-// estimate for this (app, test) when warm, else the pre-run duration
-// scaled by the item's instance count (each instance re-runs the test at
-// least once) — the cold-campaign fallback.
-func (c *campaignExec) predict(item WorkItem, preSeconds float64) float64 {
+// predict estimates one item's wall clock in seconds and its expected
+// trial count: the profile's estimate for this (app, test) when warm,
+// else the pre-run duration scaled by the item's instance count (each
+// instance re-runs the test at least once) — the cold-campaign
+// fallback. Trials come from the profile's expected-trial EWMA so LPT
+// ranks by what sequential stopping actually costs, not the worst case.
+func (c *campaignExec) predict(item WorkItem, preSeconds float64) (secs, trials float64) {
+	trials, _ = c.opts.Profile.PredictTrials(c.app.Name, item.Test)
 	if s, ok := c.opts.Profile.Predict(c.app.Name, item.Test); ok {
-		return s
+		return s, trials
 	}
 	n := len(c.gen.Instances(item.PreRun, testgen.InstancesOptions{DisableRoundRobin: c.opts.DisableRoundRobin}))
-	return preSeconds * float64(n+1)
+	return preSeconds * float64(n+1), trials
 }
 
 // noteDispatch marks an item entering execution on the in-process pool
@@ -508,12 +551,12 @@ func (c *campaignExec) noteDispatch(item WorkItem) {
 	c.o.Stat().ItemStart(item.ID)
 }
 
-// observeItem feeds one completed item's wall clock back into the
-// profile, the predicted-vs-actual accuracy histogram, the event log,
-// and the live status ETA.
-func (c *campaignExec) observeItem(item WorkItem, elapsed time.Duration) {
+// observeItem feeds one completed item's wall clock and trial count back
+// into the profile, the predicted-vs-actual accuracy histogram, the
+// event log, and the live status ETA.
+func (c *campaignExec) observeItem(item WorkItem, elapsed time.Duration, executions int64) {
 	secs := elapsed.Seconds()
-	c.opts.Profile.Record(c.app.Name, item.Test, secs)
+	c.opts.Profile.RecordTrials(c.app.Name, item.Test, secs, executions)
 	if item.PredSeconds > 0 {
 		c.o.Observe(obs.MSchedPredRatio, secs/item.PredSeconds, "app", c.app.Name)
 	}

@@ -126,7 +126,7 @@ func (p *pipeline) doPreRun(idx int) {
 	pre, d := c.run.PreRunTimed(p.tests[idx])
 	p.pres[idx] = pre
 	item := WorkItem{ID: idx, Test: pre.Test, PreRun: pre, ForceParams: c.force[pre.Test]}
-	item.PredSeconds = c.predict(item, d.Seconds())
+	item.PredSeconds, item.PredTrials = c.predict(item, d.Seconds())
 	c.o.Stat().ItemQueued(item.ID, item.Test, item.PredSeconds)
 
 	p.mu.Lock()
@@ -154,7 +154,7 @@ func (p *pipeline) doItem(item WorkItem) {
 	t0 := time.Now()
 	c.noteDispatch(item)
 	res := ExecuteItem(c.app, c.gen, c.run, c.opts, p.span, item, p.onUnsafe, false)
-	c.observeItem(item, time.Since(t0))
+	c.observeItem(item, time.Since(t0), res.Executions)
 	p.results[item.ID] = res
 
 	p.mu.Lock()

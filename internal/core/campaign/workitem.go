@@ -26,6 +26,11 @@ type WorkItem struct {
 	// advisory: it orders dispatch and arms speculation deadlines, and
 	// never influences what the item executes.
 	PredSeconds float64 `json:"pred_seconds,omitempty"`
+	// PredTrials is the profile's expected unit-test trial count for this
+	// item under sequential stopping (EWMA of observed executions), zero
+	// when the profile is cold. Advisory like PredSeconds; riding the
+	// item keeps worker-side prediction identical to local.
+	PredTrials float64 `json:"pred_trials,omitempty"`
 	// ForceParams lists parameters that must generate instances even when
 	// this item's pre-run observed no read of them — the coverage-driven
 	// full-dispatch fallback for conditionally-read parameters. Riding
@@ -52,7 +57,13 @@ type InstanceVerdict struct {
 	FirstTrialSignal bool    `json:"first_trial_signal,omitempty"`
 	PValue           float64 `json:"p_value"`
 	Rounds           int     `json:"rounds,omitempty"`
-	HeteroMsg        string  `json:"hetero_msg,omitempty"`
+	// Trials counts unit-test trials this instance consumed across all
+	// rounds (cached or executed — the statistical sample size, invariant
+	// under memoization). StopReason says why confirmation stopped:
+	// convicted, futility, or budget.
+	Trials     int64  `json:"trials,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
+	HeteroMsg  string `json:"hetero_msg,omitempty"`
 	// Evidence is the instance's forensic record (nil with evidence
 	// off). Riding inside the verdict, it serializes over the dist
 	// protocol and into checkpoint journals with no extra machinery, and
@@ -198,6 +209,8 @@ func ExecuteItem(app *harness.App, gen *testgen.Generator, run *runner.Runner, o
 			FirstTrialSignal: r.FirstTrialSignal,
 			PValue:           r.PValue,
 			Rounds:           r.Rounds,
+			Trials:           r.Trials,
+			StopReason:       r.StopReason,
 			HeteroMsg:        r.HeteroMsg,
 			Evidence:         r.Evidence,
 		})
@@ -309,6 +322,12 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 			if v.FirstTrialSignal {
 				res.FirstTrialSignals++
 			}
+			if v.Rounds > 0 && v.Trials > 0 {
+				// Trials = (Rounds+1) × per-round cost exactly, so the
+				// confirmation share (everything after the screening
+				// round) is Trials·Rounds/(Rounds+1).
+				res.ConfirmationTrials += v.Trials * int64(v.Rounds) / int64(v.Rounds+1)
+			}
 			switch v.Verdict {
 			case runner.VerdictFiltered.String():
 				res.FilteredByHypothesis++
@@ -327,6 +346,13 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 				if ps.example == "" {
 					ps.example = v.HeteroMsg
 				}
+				if ps.stop == "" {
+					// First confirming instance in item-ID order, same
+					// tie-break as the evidence record below.
+					ps.rounds = v.Rounds
+					ps.trials = v.Trials
+					ps.stop = v.StopReason
+				}
 				if ps.evidence == nil && v.Evidence != nil {
 					// First confirming instance in item-ID order: items
 					// fold deterministically, so the chosen record is
@@ -341,7 +367,8 @@ func mergeResults(res *Result, schema *confkit.Registry, gen *testgen.Generator,
 
 	for param, ps := range perParam {
 		p := schema.Lookup(param)
-		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example, Evidence: ps.evidence}
+		report := ParamReport{Param: param, MinP: ps.minP, Example: ps.example, Evidence: ps.evidence,
+			Rounds: ps.rounds, Trials: ps.trials, StopReason: ps.stop}
 		if p != nil {
 			report.Truth = p.Truth
 			report.Why = p.Why

@@ -1047,7 +1047,7 @@ func (r *Run) recordResult(slot int, res campaign.ItemResult, elapsed time.Durat
 	if res.LeakedGoroutines > 0 {
 		o.CounterAdd(obs.MAbandonedGoroutines, res.LeakedGoroutines, "app", app, "test", res.Test)
 	}
-	r.opts.Profile.Record(app, res.Test, elapsed.Seconds())
+	r.opts.Profile.RecordTrials(app, res.Test, elapsed.Seconds(), res.Executions)
 	if pred > 0 {
 		o.Observe(obs.MSchedPredRatio, elapsed.Seconds()/pred, "app", app)
 	}

@@ -19,6 +19,7 @@ import (
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/campaign"
 	"zebraconf/internal/core/memo"
+	"zebraconf/internal/core/stats"
 )
 
 // Message types of the coordinator↔worker wire protocol. Every message
@@ -126,6 +127,11 @@ type Config struct {
 	Significance      float64  `json:"significance,omitempty"`
 	MaxRounds         int      `json:"max_rounds,omitempty"`
 	Seed              int64    `json:"seed,omitempty"`
+	// Seq selects the sequential confirmation mode (stats.SeqMode as an
+	// int; 0 = SPRT, the default, rides as the JSON zero value).
+	// SeqMargin is the budget-reallocation eligibility margin.
+	Seq       int     `json:"seq,omitempty"`
+	SeqMargin float64 `json:"seq_margin,omitempty"`
 	// Overrides replaces schema parameter defaults worker-side (the
 	// -override flag): workers resolve apps themselves, so default
 	// overrides must ride the wire to keep every execution path
@@ -186,6 +192,8 @@ func ConfigFrom(opts campaign.Options) Config {
 		Significance:      opts.Significance,
 		MaxRounds:         opts.MaxRounds,
 		Seed:              opts.Seed,
+		Seq:               int(opts.Seq),
+		SeqMargin:         opts.SeqMargin,
 		Overrides:         opts.Overrides,
 		DisableExecCache:  opts.DisableExecCache,
 		EvidenceMax:       opts.EvidenceMax,
@@ -206,6 +214,8 @@ func (c Config) CampaignOptions() campaign.Options {
 		Significance:      c.Significance,
 		MaxRounds:         c.MaxRounds,
 		Seed:              c.Seed,
+		Seq:               stats.SeqMode(c.Seq),
+		SeqMargin:         c.SeqMargin,
 		Overrides:         c.Overrides,
 		DisableExecCache:  c.DisableExecCache,
 		EvidenceMax:       c.EvidenceMax,

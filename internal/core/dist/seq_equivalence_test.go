@@ -1,0 +1,120 @@
+package dist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/stats"
+)
+
+// paramTruth is the projection of a report every sequential mode must
+// agree on.
+type paramTruth struct {
+	Param, Truth string
+}
+
+// reportedSet projects a result onto the fields every sequential mode
+// must agree on: which parameters were reported and their ground-truth
+// labels. MinP, rounds, and trial counts legitimately differ between
+// stopping rules (SPRT convicts earlier, at a larger Fisher p), so the
+// equivalence invariant is the parameter set, not the evidence details.
+func reportedSet(res *campaign.Result) []paramTruth {
+	out := make([]paramTruth, 0, len(res.Reported))
+	for _, r := range res.Reported {
+		out = append(out, paramTruth{Param: r.Param, Truth: r.Truth.String()})
+	}
+	return out
+}
+
+// TestSeqEquivalenceAllApps is the sequential-stopping soundness
+// property on every mini application: SPRT and GSF must report the
+// identical parameter set as the fixed-N ablation — in-process and
+// sharded across worker subprocesses — while SPRT performs strictly
+// fewer executions. Cache off, so executions equal statistical trials
+// and the saving is attributable to early stopping alone.
+func TestSeqEquivalenceAllApps(t *testing.T) {
+	cases := []struct {
+		app    string
+		params []string
+		tests  []string
+	}{
+		{"minihdfs",
+			[]string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+			[]string{"TestWriteRead", "TestFsck", "TestMkdirList"}},
+		{"miniyarn",
+			[]string{"yarn.scheduler.maximum-allocation-mb", "yarn.timeline-service.enabled"},
+			[]string{"TestAllocationAtMaxMB", "TestTimelineQuery", "TestSubmitApplication"}},
+		{"minihbase",
+			[]string{"hadoop.rpc.protection", "hbase.client.scanner.caching", "hbase.regionserver.thrift.compact"},
+			[]string{"TestPutGet", "TestThriftAdmin"}},
+		{"minimr",
+			[]string{"mapreduce.jobhistory.max-age-ms", "mapreduce.jobhistory.address", "mapreduce.map.output.compress.codec"},
+			[]string{"TestWordCount", "TestHistoryArchive"}},
+		{"miniflink",
+			[]string{"akka.ssl.enabled", "taskmanager.numberOfTaskSlots"},
+			[]string{"TestJobSubmission", "TestSlotAllocationExact", "TestDataExchange"}},
+	}
+	const seed = 7
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			t.Parallel()
+			app, err := apps.ByName(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkOpts := func(mode stats.SeqMode) campaign.Options {
+				return campaign.Options{
+					Params:           tc.params,
+					Tests:            tc.tests,
+					Seed:             seed,
+					Seq:              mode,
+					DisableExecCache: true,
+				}
+			}
+
+			fixed := campaign.Run(app, mkOpts(stats.SeqFixed))
+			sprt := campaign.Run(app, mkOpts(stats.SeqSPRT))
+			gsf := campaign.Run(app, mkOpts(stats.SeqGSF))
+
+			if len(fixed.Reported) == 0 {
+				t.Fatalf("%s subset reported nothing; the equivalence check is vacuous", tc.app)
+			}
+			want := reportedSet(fixed)
+			if got := reportedSet(sprt); !reflect.DeepEqual(got, want) {
+				t.Fatalf("sprt reported set diverges from fixed:\n sprt  %+v\n fixed %+v", got, want)
+			}
+			if got := reportedSet(gsf); !reflect.DeepEqual(got, want) {
+				t.Fatalf("gsf reported set diverges from fixed:\n gsf   %+v\n fixed %+v", got, want)
+			}
+			if sprt.Counts.Executed >= fixed.Counts.Executed {
+				t.Fatalf("sprt did not reduce executions: sprt %d, fixed %d",
+					sprt.Counts.Executed, fixed.Counts.Executed)
+			}
+			if sprt.ConfirmationTrials >= fixed.ConfirmationTrials {
+				t.Fatalf("sprt did not reduce confirmation trials: sprt %d, fixed %d",
+					sprt.ConfirmationTrials, fixed.ConfirmationTrials)
+			}
+			for _, r := range sprt.Reported {
+				if r.StopReason == "" {
+					t.Fatalf("sprt report for %s carries no stop reason", r.Param)
+				}
+			}
+
+			// The same parameter-set invariant across worker subprocesses.
+			for _, mode := range []stats.SeqMode{stats.SeqSPRT, stats.SeqGSF} {
+				dres := runDistributed(t, app, mkOpts(mode), dist.Options{
+					Workers:   2,
+					WorkerCmd: workerFactory(),
+				})
+				if got := reportedSet(dres); !reflect.DeepEqual(got, want) {
+					t.Fatalf("workers=2 seq=%v reported set diverges:\n dist  %+v\n fixed %+v",
+						mode, got, want)
+				}
+			}
+		})
+	}
+}

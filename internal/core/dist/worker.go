@@ -20,6 +20,7 @@ import (
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
 	"zebraconf/internal/core/runner"
+	"zebraconf/internal/core/stats"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
 )
@@ -163,9 +164,19 @@ func ServeWorkerEnv(r io.Reader, w io.Writer, resolve func(string) (*harness.App
 	// campaign index. Cache hits replay their memoized read sets through
 	// the runner, so a fully warm worker still reports complete coverage.
 	cov := coverage.NewCollector()
+	// The budget pool is worker-wide (like the evidence budget): trials
+	// saved by this worker's early stops fund extension rounds for its
+	// own marginal parameters.
+	var pool *stats.BudgetPool
+	if opts.Seq != stats.SeqFixed {
+		pool = stats.NewBudgetPool()
+	}
 	rops := runner.Options{
 		Significance:     opts.Significance,
 		MaxRounds:        opts.MaxRounds,
+		Seq:              opts.Seq,
+		SeqMargin:        opts.SeqMargin,
+		Pool:             pool,
 		DisableGate:      opts.DisableGate,
 		Strategy:         opts.Strategy,
 		BaseSeed:         opts.Seed,

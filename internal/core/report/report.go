@@ -70,7 +70,12 @@ func Findings(w io.Writer, res *campaign.Result) {
 		if r.Truth != confkit.SafetyUnsafe {
 			marker = "FALSE"
 		}
-		fmt.Fprintf(w, "  [%s] %-55s p=%.2g tests=%d\n", marker, r.Param, r.MinP, len(r.Tests))
+		if r.StopReason != "" {
+			fmt.Fprintf(w, "  [%s] %-55s p=%.2g tests=%d rounds=%d trials=%d stop=%s\n",
+				marker, r.Param, r.MinP, len(r.Tests), r.Rounds, r.Trials, r.StopReason)
+		} else {
+			fmt.Fprintf(w, "  [%s] %-55s p=%.2g tests=%d\n", marker, r.Param, r.MinP, len(r.Tests))
+		}
 		if r.Why != "" {
 			fmt.Fprintf(w, "         why: %s\n", r.Why)
 		}
@@ -108,8 +113,8 @@ func Mapping(w io.Writer, res *campaign.Result) {
 
 // Hypothesis prints the §7.2 hypothesis-testing statistics.
 func Hypothesis(w io.Writer, res *campaign.Result) {
-	fmt.Fprintf(w, "Hypothesis testing for %s: %d first-trial signals, %d filtered as nondeterministic, %d homogeneous-invalid\n",
-		res.App, res.FirstTrialSignals, res.FilteredByHypothesis, res.HomoInvalid)
+	fmt.Fprintf(w, "Hypothesis testing for %s: %d first-trial signals, %d filtered as nondeterministic, %d homogeneous-invalid, %d confirmation trials\n",
+		res.App, res.FirstTrialSignals, res.FilteredByHypothesis, res.HomoInvalid, res.ConfirmationTrials)
 }
 
 // Full prints everything for one campaign.
@@ -199,6 +204,9 @@ func explainParam(w io.Writer, r campaign.ParamReport) {
 	}
 	fmt.Fprintf(w, "- Confirming tests (%d): %s\n", len(r.Tests), strings.Join(r.Tests, ", "))
 	fmt.Fprintf(w, "- Min p-value: %.3g\n", r.MinP)
+	if r.StopReason != "" {
+		fmt.Fprintf(w, "- Confirmation: %d round(s), %d trials, stopped: %s\n", r.Rounds, r.Trials, r.StopReason)
+	}
 	ev := r.Evidence
 	if ev == nil {
 		fmt.Fprintf(w, "\n_No evidence record (campaign ran with -evidence-max 0)._\n\n")

@@ -55,6 +55,21 @@ func (v Verdict) String() string {
 	}
 }
 
+// Stop reasons name why an instance's confirmation trials ended. Empty
+// on instances that never entered confirmation (gated out on the first
+// trial).
+const (
+	// StopConvicted: the stopping rule reached significance.
+	StopConvicted = "convicted"
+	// StopFutility: the stopping rule decided no remaining trials could
+	// (or plausibly would) reach significance and cut the instance off.
+	StopFutility = "futility"
+	// StopBudget: the round budget ran out undecided — including
+	// instances that then drew reallocated rounds from the campaign
+	// budget pool but still did not convict.
+	StopBudget = "budget"
+)
+
 // Result is the outcome of running one instance (or one pooled run treated
 // as an instance).
 type Result struct {
@@ -72,8 +87,17 @@ type Result struct {
 	// cache: canonically-seeded homogeneous arms another instance (or an
 	// earlier round sharing the key) already executed.
 	Saved int64
-	// Rounds counts confirmation rounds run after the first trial.
+	// Rounds counts confirmation rounds run after the first trial,
+	// including any extension rounds drawn from the campaign budget pool.
 	Rounds int
+	// Trials counts paired trials this instance consumed across all
+	// rounds (heterogeneous + homogeneous arms, cached or executed):
+	// the sequential-stopping cost measure, invariant under memoization.
+	Trials int64
+	// StopReason says why confirmation ended (StopConvicted,
+	// StopFutility, StopBudget); empty when the first-trial gate decided
+	// the instance without confirmation rounds.
+	StopReason string
 	// HeteroMsg is a failure message from a heterogeneous run, for reports.
 	HeteroMsg string
 	// Evidence is the instance's forensic record (nil unless
@@ -95,6 +119,20 @@ type Options struct {
 	// no unsafe signal (the E11 ablation: spends trials to reduce false
 	// negatives).
 	DisableGate bool
+	// Seq selects the confirmation-trial stopping rule; the zero value
+	// is stats.SeqSPRT (sequential early stopping on), stats.SeqFixed
+	// restores the fixed-budget ablation.
+	Seq stats.SeqMode
+	// SeqMargin is the budget-reallocation margin: an instance whose
+	// round budget ran out with a p-value below SeqMargin×Significance
+	// may draw extension rounds from Pool. Zero means 50; negative
+	// disables extensions.
+	SeqMargin float64
+	// Pool is the campaign-wide (per worker process, in distributed
+	// mode) trial budget pool: early stops deposit their unrun rounds,
+	// significance-marginal instances withdraw extension rounds. Nil —
+	// the fixed-mode configuration — disables reallocation entirely.
+	Pool *stats.BudgetPool
 	// BaseSeed is mixed into every per-run seed derivation, making whole
 	// campaigns reproducible-by-flag; the zero value is simply the
 	// default base. Heterogeneous-arm seeds depend only on (BaseSeed,
@@ -134,6 +172,12 @@ type Options struct {
 	Coverage *coverage.Collector
 }
 
+// DefaultSeqMargin is the default budget-reallocation margin: a
+// budget-exhausted instance draws extension rounds only when its final
+// p-value is within this factor of the significance level — close
+// enough that a few more rounds could plausibly decide it either way.
+const DefaultSeqMargin = 50
+
 // Runner executes instances against one application.
 type Runner struct {
 	app  *harness.App
@@ -149,6 +193,9 @@ func New(app *harness.App, opts Options) *Runner {
 	}
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 8
+	}
+	if opts.SeqMargin == 0 {
+		opts.SeqMargin = DefaultSeqMargin
 	}
 	return &Runner{app: app, opts: opts}
 }
@@ -332,7 +379,8 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 			obs.Int("rounds", int64(res.Rounds)))
 		span.End()
 		r.opts.Obs.RecordVerdict(r.app.Name, res.Verdict.String(), res.FirstTrialSignal)
-		r.opts.Obs.Observe(obs.MConfirmRounds, float64(res.Rounds), "app", r.app.Name)
+		r.opts.Obs.Observe(obs.MConfirmRounds, float64(res.Rounds),
+			"app", r.app.Name, "verdict", res.Verdict.String())
 		if ev != nil {
 			ev.Arms = arms
 			ev.HeteroFail, ev.HeteroPass = heteroFail, heteroPass
@@ -342,6 +390,7 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 	}()
 
 	runRound := func(round int, heteroFail, heteroPass, homoFail, homoPass *int64, anyHomoFailed *bool) {
+		res.Trials += int64(1 + len(asn.Homo))
 		rs := r.opts.Obs.StartSpan("round", span.ID(),
 			obs.String("app", r.app.Name),
 			obs.String("test", test.Name),
@@ -435,16 +484,63 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 		return res
 	}
 
-	// Confirmation rounds: paired trials until significance or budget.
+	// Confirmation rounds: paired trials until the stopping rule decides
+	// the instance or the round budget runs out. The rule is stateless
+	// over the cumulative 2×2 table, so replays and retries re-derive
+	// identical decisions.
+	seq := stats.NewSeqTest(r.opts.Seq, r.opts.Significance, r.opts.MaxRounds, len(asn.Homo))
+	trialsPerRound := int64(1 + len(asn.Homo))
 	for round := 1; round <= r.opts.MaxRounds; round++ {
 		runRound(round, &heteroFail, &heteroPass, &homoFail, &homoPass, nil)
 		res.Rounds = round
 
-		res.PValue = stats.FisherOneSided(heteroFail, heteroPass, homoFail, homoPass)
+		var dec stats.Decision
+		dec, res.PValue = seq.Look(round, heteroFail, heteroPass, homoFail, homoPass)
 		r.opts.Obs.Observe(obs.MPValue, res.PValue, "app", r.app.Name)
-		if res.PValue < r.opts.Significance {
+		switch dec {
+		case stats.SeqConvict:
 			res.Verdict = VerdictUnsafe
+			res.StopReason = StopConvicted
+			r.depositSaved(r.opts.MaxRounds-round, trialsPerRound)
 			return res
+		case stats.SeqFutile:
+			if heteroFail == 0 {
+				res.Verdict = VerdictSafe
+			} else {
+				res.Verdict = VerdictFiltered
+			}
+			res.StopReason = StopFutility
+			r.depositSaved(r.opts.MaxRounds-round, trialsPerRound)
+			return res
+		}
+	}
+	res.StopReason = StopBudget
+
+	// Budget reallocation: an undecided instance whose p-value landed
+	// within the margin of significance draws extension rounds from the
+	// pool of rounds early stops did not run — up to one extra full
+	// budget, one round per withdrawal so concurrent marginal instances
+	// share the pool fairly. Extension looks apply the full-alpha Fisher
+	// test (the spending schedule governs only the planned looks), and
+	// their trials are seeded by (label, arm, round) exactly like the
+	// planned rounds, so a granted continuation is reproducible.
+	if heteroFail > 0 && r.opts.SeqMargin > 0 && res.PValue < r.opts.SeqMargin*r.opts.Significance {
+		for ext := 1; ext <= r.opts.MaxRounds; ext++ {
+			if !r.opts.Pool.TryWithdraw() {
+				break
+			}
+			round := r.opts.MaxRounds + ext
+			runRound(round, &heteroFail, &heteroPass, &homoFail, &homoPass, nil)
+			res.Rounds = round
+			res.PValue = stats.FisherOneSided(heteroFail, heteroPass, homoFail, homoPass)
+			r.opts.Obs.Observe(obs.MPValue, res.PValue, "app", r.app.Name)
+			r.opts.Obs.CounterAdd(obs.MTrialsSaved, trialsPerRound,
+				"app", r.app.Name, "kind", "reallocated")
+			if res.PValue < r.opts.Significance {
+				res.Verdict = VerdictUnsafe
+				res.StopReason = StopConvicted
+				return res
+			}
 		}
 	}
 	if heteroFail == 0 {
@@ -453,6 +549,19 @@ func (r *Runner) RunAssignmentIn(parent obs.SpanID, test *harness.UnitTest, asn 
 	}
 	res.Verdict = VerdictFiltered
 	return res
+}
+
+// depositSaved credits rounds an early stop did not run to the campaign
+// budget pool and counts the trials they would have cost. Nil-safe on
+// the pool (fixed mode); the counter still records the saving, so the
+// fixed-vs-sequential execution delta is observable either way.
+func (r *Runner) depositSaved(rounds int, trialsPerRound int64) {
+	if rounds <= 0 {
+		return
+	}
+	r.opts.Pool.Deposit(rounds)
+	r.opts.Obs.CounterAdd(obs.MTrialsSaved, int64(rounds)*trialsPerRound,
+		"app", r.app.Name, "kind", "early-stop")
 }
 
 // RunPooled executes just the heterogeneous arm of a pooled assignment as

@@ -10,6 +10,7 @@ import (
 	"zebraconf/internal/core/agent"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/memo"
+	"zebraconf/internal/core/stats"
 	"zebraconf/internal/core/testgen"
 	"zebraconf/internal/obs"
 )
@@ -85,11 +86,32 @@ func TestDeterministicUnsafeConfirmed(t *testing.T) {
 	if !res.FirstTrialSignal {
 		t.Fatal("no first-trial signal for a deterministic bug")
 	}
-	if res.PValue >= 1e-4 {
-		t.Fatalf("p-value %g not significant", res.PValue)
+	// Under the default SPRT the conviction guarantee is the likelihood
+	// boundary, reached by round 3 on an always-failing instance.
+	if res.StopReason != StopConvicted {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopConvicted)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("deterministic conviction took %d rounds, want <= 3", res.Rounds)
 	}
 	if res.HeteroMsg == "" {
 		t.Fatal("no failure message recorded")
+	}
+}
+
+func TestDeterministicUnsafeConfirmedFixed(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	r := New(app, Options{Seq: stats.SeqFixed})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "det-fixed")
+	if res.Verdict != VerdictUnsafe {
+		t.Fatalf("verdict = %v, want unsafe (msg %q)", res.Verdict, res.HeteroMsg)
+	}
+	// Fixed-N convicts on the raw Fisher test, so the reported p-value
+	// itself clears the significance bar.
+	if res.PValue >= 1e-4 {
+		t.Fatalf("p-value %g not significant", res.PValue)
 	}
 }
 
@@ -149,7 +171,9 @@ func TestHomoInvalidDetected(t *testing.T) {
 func TestGateDisabledStillConverges(t *testing.T) {
 	t.Parallel()
 	app := syntheticApp("none")
-	r := New(app, Options{DisableGate: true, MaxRounds: 3})
+	// Fixed mode: sequential futility would stop an all-passing instance
+	// early, and this test measures the gate ablation's full cost.
+	r := New(app, Options{DisableGate: true, MaxRounds: 3, Seq: stats.SeqFixed})
 	asn, test := instanceFor(app, r)
 	res := r.RunAssignment(test, asn, "nogate")
 	if res.Verdict != VerdictSafe {
@@ -159,6 +183,29 @@ func TestGateDisabledStillConverges(t *testing.T) {
 	want := int64((1 + 3) * (1 + len(asn.Homo)))
 	if res.Executions != want {
 		t.Fatalf("executions = %d, want %d without gating", res.Executions, want)
+	}
+}
+
+func TestGateDisabledFutilityStopsEarly(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("none")
+	r := New(app, Options{DisableGate: true, MaxRounds: 3})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "nogate-sprt")
+	if res.Verdict != VerdictSafe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+	if res.StopReason != StopFutility {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopFutility)
+	}
+	// SPRT futility fires before the round budget is exhausted, so an
+	// all-passing instance costs strictly less than the fixed budget.
+	budget := int64((1 + 3) * (1 + len(asn.Homo)))
+	if res.Executions >= budget {
+		t.Fatalf("executions = %d, want < %d under sequential futility", res.Executions, budget)
+	}
+	if res.Trials != res.Executions {
+		t.Fatalf("trials = %d, executions = %d; with no cache they must match", res.Trials, res.Executions)
 	}
 }
 
@@ -340,5 +387,70 @@ func TestHomoArmNamesAreDistinct(t *testing.T) {
 	}
 	if homoArmName(0) != "homoA" || homoArmName(1) != "homoB" || homoArmName(2) != "homoC" {
 		t.Fatalf("unexpected arm names: %q %q %q", homoArmName(0), homoArmName(1), homoArmName(2))
+	}
+}
+
+func TestBudgetReallocationConvictsMarginalInstance(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	// A round budget of 3 is too small for Fisher significance on a
+	// deterministic signal (p = 1/C(12,4) ≈ 2e-3 > 1e-4), but well within
+	// the default reallocation margin of 50x. A funded pool must grant
+	// extension rounds until the instance convicts — at 5 total rounds,
+	// where p = 1/C(18,6) ≈ 5.4e-5.
+	pool := stats.NewBudgetPool()
+	pool.Deposit(8)
+	r := New(app, Options{MaxRounds: 3, Seq: stats.SeqFixed, Pool: pool})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "marginal")
+	if res.Verdict != VerdictUnsafe {
+		t.Fatalf("verdict = %v, want unsafe via extension rounds", res.Verdict)
+	}
+	if res.StopReason != StopConvicted {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopConvicted)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5 (3 budgeted + 2 extension)", res.Rounds)
+	}
+	if res.PValue >= 1e-4 {
+		t.Fatalf("extension conviction p = %g, not significant", res.PValue)
+	}
+	if _, wd := pool.Stats(); wd != 2 {
+		t.Fatalf("pool withdrawals = %d, want 2", wd)
+	}
+}
+
+func TestBudgetReallocationDeniedWithoutFunds(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	// Same marginal setup, empty pool: the instance must exhaust its own
+	// budget and stay unconvicted — reallocation never invents trials.
+	r := New(app, Options{MaxRounds: 3, Seq: stats.SeqFixed, Pool: stats.NewBudgetPool()})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "marginal-broke")
+	if res.Verdict == VerdictUnsafe {
+		t.Fatal("instance convicted without budget for the needed rounds")
+	}
+	if res.StopReason != StopBudget {
+		t.Fatalf("stop reason = %q, want %q", res.StopReason, StopBudget)
+	}
+	if res.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (no extensions granted)", res.Rounds)
+	}
+}
+
+func TestEarlyStopsDepositIntoPool(t *testing.T) {
+	t.Parallel()
+	app := syntheticApp("deterministic")
+	pool := stats.NewBudgetPool()
+	r := New(app, Options{Pool: pool})
+	asn, test := instanceFor(app, r)
+	res := r.RunAssignment(test, asn, "depositor")
+	if res.Verdict != VerdictUnsafe || res.StopReason != StopConvicted {
+		t.Fatalf("verdict = %v stop = %q, want early conviction", res.Verdict, res.StopReason)
+	}
+	dep, _ := pool.Stats()
+	if want := int64(8 - res.Rounds); dep != want {
+		t.Fatalf("pool deposits = %d, want %d (MaxRounds - rounds run)", dep, want)
 	}
 }

@@ -19,10 +19,19 @@ const profileAlpha = 0.5
 
 // Estimate is one (app, test) duration estimate: an exponentially
 // weighted moving average of observed work-item wall clocks, in seconds,
-// and the number of observations folded in.
+// and the number of observations folded in. TrialSeconds and Trials are
+// the per-trial decomposition — EWMA of seconds-per-trial and of the
+// item's trial count — so predictions track sequential stopping instead
+// of skewing when round counts shrink: a whole-item EWMA learned under
+// 8-round confirmation over-predicts forever once early stopping cuts
+// most items to 2-3 rounds. Both are additive fields: profiles written
+// before trial accounting load with them zero and predictions fall back
+// to Seconds.
 type Estimate struct {
-	Seconds float64 `json:"seconds"`
-	Samples int64   `json:"samples"`
+	Seconds      float64 `json:"seconds"`
+	Samples      int64   `json:"samples"`
+	TrialSeconds float64 `json:"trial_seconds,omitempty"`
+	Trials       float64 `json:"trials,omitempty"`
 }
 
 // Profile is a persistent store of per-(app, unit test) work-item
@@ -81,6 +90,14 @@ func LoadProfile(path string) (*Profile, error) {
 
 // Record folds one observed work-item duration into the estimate.
 func (p *Profile) Record(app, test string, seconds float64) {
+	p.RecordTrials(app, test, seconds, 0)
+}
+
+// RecordTrials folds one observed work-item duration and its unit-test
+// trial count into the estimate. trials == 0 means "unknown" (an item
+// that generated no instances, or a caller without trial accounting) and
+// updates only the whole-item average.
+func (p *Profile) RecordTrials(app, test string, seconds float64, trials int64) {
 	if p == nil || seconds < 0 {
 		return
 	}
@@ -93,15 +110,32 @@ func (p *Profile) Record(app, test string, seconds float64) {
 	}
 	e := m[test]
 	if e == nil {
-		m[test] = &Estimate{Seconds: seconds, Samples: 1}
+		e = &Estimate{Seconds: seconds, Samples: 1}
+		if trials > 0 {
+			e.TrialSeconds = seconds / float64(trials)
+			e.Trials = float64(trials)
+		}
+		m[test] = e
 		return
 	}
 	e.Seconds = profileAlpha*seconds + (1-profileAlpha)*e.Seconds
 	e.Samples++
+	if trials > 0 {
+		perTrial := seconds / float64(trials)
+		if e.Trials == 0 {
+			e.TrialSeconds = perTrial
+			e.Trials = float64(trials)
+		} else {
+			e.TrialSeconds = profileAlpha*perTrial + (1-profileAlpha)*e.TrialSeconds
+			e.Trials = profileAlpha*float64(trials) + (1-profileAlpha)*e.Trials
+		}
+	}
 }
 
 // Predict returns the estimated duration for one (app, test), and
-// whether the profile has ever observed it.
+// whether the profile has ever observed it. When the per-trial
+// decomposition is warm it predicts per-trial cost × expected trials —
+// tracking sequential stopping — else the whole-item EWMA.
 func (p *Profile) Predict(app, test string) (seconds float64, ok bool) {
 	if p == nil {
 		return 0, false
@@ -109,7 +143,24 @@ func (p *Profile) Predict(app, test string) (seconds float64, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if e := p.apps[app][test]; e != nil {
+		if e.TrialSeconds > 0 && e.Trials > 0 {
+			return e.TrialSeconds * e.Trials, true
+		}
 		return e.Seconds, true
+	}
+	return 0, false
+}
+
+// PredictTrials returns the expected unit-test trial count for one
+// (app, test), and whether the profile has trial observations for it.
+func (p *Profile) PredictTrials(app, test string) (trials float64, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e := p.apps[app][test]; e != nil && e.Trials > 0 {
+		return e.Trials, true
 	}
 	return 0, false
 }

@@ -350,3 +350,81 @@ func TestOverdue(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileRecordTrialsPerTrialPrediction(t *testing.T) {
+	t.Parallel()
+	p := NewProfile()
+	// A 24-trial item at 12s: 0.5 s/trial. The whole-item EWMA alone
+	// would predict 12s for every future item of this test, even after
+	// sequential stopping cuts it to a third of the trials.
+	p.RecordTrials("minihdfs", "TestWriteRead", 12, 24)
+	if s, ok := p.Predict("minihdfs", "TestWriteRead"); !ok || s != 12 {
+		t.Fatalf("Predict = %v, %v, want 12 (0.5 s/trial x 24 trials)", s, ok)
+	}
+	if n, ok := p.PredictTrials("minihdfs", "TestWriteRead"); !ok || n != 24 {
+		t.Fatalf("PredictTrials = %v, %v, want 24", n, ok)
+	}
+	// Early stopping shrinks the item to 8 trials at the same per-trial
+	// cost: the prediction must track the shrunk trial count, not the
+	// stale whole-item average.
+	p.RecordTrials("minihdfs", "TestWriteRead", 4, 8)
+	n, ok := p.PredictTrials("minihdfs", "TestWriteRead")
+	if !ok || n != 16 { // EWMA: 0.5*8 + 0.5*24
+		t.Fatalf("PredictTrials = %v, %v, want 16 (EWMA)", n, ok)
+	}
+	s, ok := p.Predict("minihdfs", "TestWriteRead")
+	if !ok || s != 8 { // 0.5 s/trial x 16 expected trials
+		t.Fatalf("Predict = %v, %v, want 8 (per-trial decomposition)", s, ok)
+	}
+}
+
+func TestProfileRecordWithoutTrialsFallsBack(t *testing.T) {
+	t.Parallel()
+	p := NewProfile()
+	p.Record("a", "t", 6)
+	p.RecordTrials("a", "t", 4, 0) // unknown trials: whole-item only
+	if s, ok := p.Predict("a", "t"); !ok || s != 5 {
+		t.Fatalf("Predict = %v, %v, want 5 (whole-item EWMA)", s, ok)
+	}
+	if _, ok := p.PredictTrials("a", "t"); ok {
+		t.Fatal("PredictTrials answered with no trial observations")
+	}
+	// Nil profile stays inert through the new paths too.
+	var nilp *Profile
+	nilp.RecordTrials("a", "t", 1, 2)
+	if _, ok := nilp.PredictTrials("a", "t"); ok {
+		t.Fatal("nil profile predicted trials")
+	}
+}
+
+func TestProfileLoadsPreTrialFormat(t *testing.T) {
+	t.Parallel()
+	// A profile written before trial accounting: same version, no
+	// trial_seconds/trials keys. It must load and predict from Seconds.
+	path := filepath.Join(t.TempDir(), "old.json")
+	os.WriteFile(path, []byte(`{"version":1,"apps":{"minihdfs":{"TestFsck":{"seconds":2.5,"samples":3}}}}`), 0o644)
+	p, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := p.Predict("minihdfs", "TestFsck"); !ok || s != 2.5 {
+		t.Fatalf("Predict from pre-trial profile = %v, %v, want 2.5", s, ok)
+	}
+	if _, ok := p.PredictTrials("minihdfs", "TestFsck"); ok {
+		t.Fatal("pre-trial profile predicted trials")
+	}
+	// Folding a trial observation in upgrades the estimate in place and
+	// round-trips through the same version-1 format.
+	p.RecordTrials("minihdfs", "TestFsck", 3, 6)
+	out := filepath.Join(t.TempDir(), "new.json")
+	if err := p.Save(out); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadProfile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := p2.PredictTrials("minihdfs", "TestFsck"); !ok || n != 6 {
+		t.Fatalf("PredictTrials after upgrade round-trip = %v, %v, want 6", n, ok)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/runner"
 	"zebraconf/internal/core/sched"
+	"zebraconf/internal/core/stats"
 )
 
 // SubmitRequest is the POST /api/campaigns body: the execution-affecting
@@ -38,6 +40,8 @@ type SubmitRequest struct {
 	NoGate    bool     `json:"no_gate,omitempty"`
 	ExecCache *bool    `json:"exec_cache,omitempty"` // default true
 	Sched     string   `json:"sched,omitempty"`      // default "lpt"
+	Seq       string   `json:"seq,omitempty"`        // default "sprt"
+	SeqMargin *float64 `json:"seq_margin,omitempty"` // default runner.DefaultSeqMargin
 	Stream    *bool    `json:"stream,omitempty"`     // default true
 	Speculate *float64 `json:"speculate,omitempty"`  // default 1.5
 	// Quarantine is the live-quarantine threshold (default 3, 0 disables).
@@ -72,6 +76,20 @@ func (r SubmitRequest) EffectiveSched() string {
 		return "lpt"
 	}
 	return r.Sched
+}
+
+func (r SubmitRequest) EffectiveSeq() string {
+	if r.Seq == "" {
+		return "sprt"
+	}
+	return r.Seq
+}
+
+func (r SubmitRequest) EffectiveSeqMargin() float64 {
+	if r.SeqMargin == nil {
+		return runner.DefaultSeqMargin
+	}
+	return *r.SeqMargin
 }
 
 func (r SubmitRequest) EffectiveSelect() string {
@@ -142,6 +160,8 @@ func (r SubmitRequest) ExecFlags() map[string]string {
 		"thread-only":     "false",
 		"max-pool":        fmt.Sprint(r.MaxPool),
 		"sched":           r.EffectiveSched(),
+		"seq":             r.EffectiveSeq(),
+		"seq-margin":      fmt.Sprint(r.EffectiveSeqMargin()),
 		"stream":          fmt.Sprint(r.EffectiveStream()),
 		"speculate":       fmt.Sprint(r.EffectiveSpeculate()),
 		"quarantine":      fmt.Sprint(r.EffectiveQuarantine()),
@@ -160,6 +180,9 @@ func (r SubmitRequest) Validate() error {
 		return fmt.Errorf("server: request needs an app")
 	}
 	if _, err := sched.ParsePolicy(r.EffectiveSched()); err != nil {
+		return err
+	}
+	if _, err := stats.ParseSeqMode(r.EffectiveSeq()); err != nil {
 		return err
 	}
 	if s := r.EffectiveSelect(); s != "coverage" && s != "all" {

@@ -38,6 +38,7 @@ import (
 	"zebraconf/internal/core/ledger"
 	"zebraconf/internal/core/report"
 	"zebraconf/internal/core/sched"
+	"zebraconf/internal/core/stats"
 	"zebraconf/internal/obs"
 )
 
@@ -341,6 +342,11 @@ func (s *Server) runCampaign(c *Campaign) {
 		s.finish(c, nil, err)
 		return
 	}
+	seqMode, err := stats.ParseSeqMode(req.EffectiveSeq())
+	if err != nil {
+		s.finish(c, nil, err)
+		return
+	}
 	quarThreshold := req.EffectiveQuarantine()
 	if quarThreshold <= 0 {
 		quarThreshold = math.MaxInt32
@@ -355,6 +361,8 @@ func (s *Server) runCampaign(c *Campaign) {
 		Params:              req.Params,
 		Tests:               req.Tests,
 		Seed:                req.Seed,
+		Seq:                 seqMode,
+		SeqMargin:           req.EffectiveSeqMargin(),
 		SchedPolicy:         policy,
 		Stream:              req.EffectiveStream(),
 		Profile:             s.profile,

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/big"
 	"testing"
 	"testing/quick"
 )
@@ -133,5 +134,65 @@ func TestMinTrialsForCertainty(t *testing.T) {
 	}
 	if got := MinTrialsForCertainty(0.1); got != 3 {
 		t.Fatalf("MinTrialsForCertainty(0.1) = %d, want 3", got)
+	}
+}
+
+// bigChoose returns C(n, k) exactly.
+func bigChoose(n, k int64) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, k)
+}
+
+// bruteFisher enumerates the hypergeometric tail with exact rational
+// arithmetic: with margins fixed, P(hetero failures >= a) =
+// sum_k C(fail, k)·C(pass, n1−k) / C(N, n1) over k in [a, min(fail, n1)].
+func bruteFisher(a, b, c, d int64) float64 {
+	pop := a + b + c + d
+	if pop == 0 {
+		return 1
+	}
+	fail := a + c
+	n1 := a + b
+	denom := bigChoose(pop, n1)
+	num := new(big.Int)
+	for k := a; k <= fail && k <= n1; k++ {
+		num.Add(num, new(big.Int).Mul(bigChoose(fail, k), bigChoose(pop-fail, n1-k)))
+	}
+	f, _ := new(big.Rat).SetFrac(num, denom).Float64()
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Property: FisherOneSided matches brute-force hypergeometric
+// enumeration over every small table, and over a sample of larger ones.
+func TestFisherMatchesBruteForceEnumeration(t *testing.T) {
+	t.Parallel()
+	// Exhaustive over all tables with every cell <= 6.
+	for a := int64(0); a <= 6; a++ {
+		for b := int64(0); b <= 6; b++ {
+			for c := int64(0); c <= 6; c++ {
+				for d := int64(0); d <= 6; d++ {
+					got := FisherOneSided(a, b, c, d)
+					want := bruteFisher(a, b, c, d)
+					if !almost(got, want, 1e-9+want*1e-9) {
+						t.Fatalf("Fisher(%d,%d,%d,%d) = %g, brute force %g", a, b, c, d, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Randomized larger tables (the confirmation loop's actual sizes).
+	fn := func(hf, hp, of, op uint8) bool {
+		a, b, c, d := int64(hf%20), int64(hp%20), int64(of%40), int64(op%40)
+		got := FisherOneSided(a, b, c, d)
+		want := bruteFisher(a, b, c, d)
+		return almost(got, want, 1e-9+want*1e-9)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
