@@ -1,6 +1,8 @@
 // Command reportgen renders campaign JSON (written by `zebraconf -json`)
-// as the Markdown tables EXPERIMENTS.md embeds, and diffs run-ledger
-// entries (`reportgen -diff -ledger <dir> -app <app>`).
+// as the Markdown tables EXPERIMENTS.md embeds, diffs run-ledger
+// entries (`reportgen -diff -ledger <dir> -app <app>`), and renders the
+// offline performance profile from a run's observability artifacts
+// (`reportgen -profile -trace t.jsonl -events e.jsonl -perf p.jsonl`).
 package main
 
 import (
@@ -10,6 +12,7 @@ import (
 	"os"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/flight"
 	"zebraconf/internal/core/ledger"
 	"zebraconf/internal/core/report"
 )
@@ -23,11 +26,18 @@ func main() {
 		ledgerD = flag.String("ledger", "", "with -diff: the -ledger directory campaigns appended to")
 		appName = flag.String("app", "", "with -diff: compare this app's two most recent runs")
 		runs    = flag.String("diff-runs", "", "with -diff: two comma-separated run IDs (or unique prefixes) instead of the app's last two")
+		profile = flag.Bool("profile", false, "render the offline performance profile (same renderer as zebraconf -mode profile)")
+		traceIn = flag.String("trace", "", "with -profile: the run's JSONL trace file")
+		events  = flag.String("events", "", "with -profile: the run's JSONL event log")
+		perfIn  = flag.String("perf", "", "with -profile: the run's JSONL perf sample series")
 	)
 	flag.Parse()
 
 	if *diff {
 		os.Exit(runDiff(*ledgerD, *appName, *runs))
+	}
+	if *profile {
+		os.Exit(runProfile(*traceIn, *events, *perfIn))
 	}
 
 	f, err := os.Open(*in)
@@ -65,6 +75,23 @@ func main() {
 	uniq, trueOnes := report.UniqueParams(results)
 	fmt.Printf("**Overall:** %d reports, %d distinct parameters (%d true problems, %d false positives as scored by the registries' ground truth), %d unit-test executions.\n",
 		s.Reported, uniq, trueOnes, uniq-trueOnes, s.Executed)
+}
+
+// runProfile mirrors `zebraconf -mode profile` through the shared
+// flight renderer, for archived artifacts with no zebraconf build
+// around. Exit 0 on success, 2 on usage or load errors.
+func runProfile(tracePath, eventsPath, perfPath string) int {
+	if tracePath == "" && eventsPath == "" && perfPath == "" {
+		fmt.Fprintln(os.Stderr, "reportgen: -profile needs at least one artifact: -trace, -events, or -perf")
+		return 2
+	}
+	run, err := flight.Load(tracePath, eventsPath, perfPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reportgen:", err)
+		return 2
+	}
+	flight.RenderProfile(os.Stdout, flight.Analyze(run))
+	return 0
 }
 
 // runDiff mirrors `zebraconf -mode diff`: exit 0 when the reported sets

@@ -14,6 +14,9 @@
 //	zebraconf -mode run -app minihdfs -http :6060 -events /tmp/e.jsonl -ledger /tmp/runs
 //	zebraconf -mode watch -http-addr :6060            # live terminal dashboard
 //	zebraconf -mode diff -ledger /tmp/runs -app minihdfs
+//	zebraconf -mode run -app minihdfs -perf /tmp/p.jsonl -trace /tmp/t.jsonl -events /tmp/e.jsonl
+//	zebraconf -mode profile -trace /tmp/t.jsonl -events /tmp/e.jsonl -perf /tmp/p.jsonl
+//	zebraconf -mode trends -ledger /tmp/runs -app minihdfs
 //	zebraconf -mode serve -listen :8080 -worker-listen :9090 -token s3cret -state /var/lib/zebraconf
 //	zebraconf -worker -connect host:9090 -token s3cret          # TCP worker joins the service
 //	zebraconf -mode submit -server http://host:8080 -token s3cret -app minihdfs -workers 2
@@ -25,6 +28,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/exec"
@@ -39,6 +43,7 @@ import (
 	"zebraconf/internal/core/coverage"
 	"zebraconf/internal/core/diskcache"
 	"zebraconf/internal/core/dist"
+	"zebraconf/internal/core/flight"
 	"zebraconf/internal/core/forensics"
 	"zebraconf/internal/core/harness"
 	"zebraconf/internal/core/ledger"
@@ -52,7 +57,7 @@ import (
 
 func main() {
 	var (
-		mode       = flag.String("mode", "run", "stats | run | rerun | explain | watch | diff | suggest-deps | serve | submit | cancel")
+		mode       = flag.String("mode", "run", "stats | run | rerun | explain | watch | diff | profile | trends | suggest-deps | serve | submit | cancel")
 		appName    = flag.String("app", "all", "application name or 'all'")
 		params     = flag.String("params", "", "comma-separated parameter subset")
 		tests      = flag.String("tests", "", "comma-separated test subset")
@@ -99,12 +104,18 @@ func main() {
 
 		// Live introspection & run ledger (internal/obs, internal/core/ledger).
 		eventsOut  = flag.String("events", "", "write the JSONL campaign event log (flight recorder) to this file")
+		perfOut    = flag.String("perf", "", "write the JSONL perf sample series (periodic runtime + metrics snapshots) to this file; also analyzed offline by -mode profile")
+		perfPeriod = flag.Duration("perf-period", obs.DefaultSamplePeriod, "perf sampler snapshot period (with -perf or -http)")
 		ledgerDir  = flag.String("ledger", "", "append one run-summary record per campaign to <dir>/ledger.jsonl (compared by -mode diff)")
 		pprofRates = flag.Int("pprof-rates", 0, "sample mutex contention and blocking at rate N for the -http pprof endpoints (0 = off)")
 		heartbeat  = flag.Duration("heartbeat", time.Second, "worker heartbeat period with -workers; 0 disables heartbeats and stall detection")
 		httpTarget = flag.String("http-addr", "", "with -mode watch: the -http address of the running campaign to poll")
 		watchEvery = flag.Duration("watch-interval", time.Second, "with -mode watch: poll interval")
 		diffRuns   = flag.String("diff-runs", "", "with -mode diff: two comma-separated run IDs (or unique prefixes) to compare instead of the app's last two")
+
+		// Cross-run regression detection (internal/core/flight).
+		trendRuns      = flag.Int("trend-runs", flight.DefaultTrendRuns, "with -mode trends: trailing runs to compare (the newest against up to N-1 predecessors)")
+		trendThreshold = flag.Float64("trend-threshold", flight.DefaultTrendThreshold, "with -mode trends: relative drift past which a metric is flagged (strictly greater than)")
 
 		// Campaign service (internal/core/server) and the persistent
 		// execution cache (internal/core/diskcache).
@@ -157,9 +168,10 @@ func main() {
 		return
 	}
 
-	// watch and diff are pure introspection modes: they read a running
-	// campaign's status API or a ledger directory and never execute
-	// anything, so they return before the observer machinery assembles.
+	// watch, diff, profile, and trends are pure introspection modes:
+	// they read a running campaign's status API, a ledger directory, or
+	// a finished run's artifacts, and never execute anything, so they
+	// return before the observer machinery assembles.
 	switch *mode {
 	case "watch":
 		if *serverURL != "" {
@@ -170,6 +182,12 @@ func main() {
 		return
 	case "diff":
 		exitCode = runDiff(*ledgerDir, *appName, *diffRuns)
+		return
+	case "profile":
+		exitCode = runProfile(*traceOut, *eventsOut, *perfOut)
+		return
+	case "trends":
+		exitCode = runTrends(*ledgerDir, *appName, *trendRuns, *trendThreshold)
 		return
 	case "serve":
 		exitCode = runServe(*listenAddr, *workerListen, *tokenFlag, *stateDir, *cacheMax)
@@ -213,7 +231,7 @@ func main() {
 	// Observability is assembled only when asked for; a nil Observer
 	// keeps every instrumented path on its no-op branch.
 	var observer *obs.Observer
-	if *traceOut != "" || *metricsOut != "" || *progress || *httpAddr != "" || *eventsOut != "" || *ledgerDir != "" {
+	if *traceOut != "" || *metricsOut != "" || *progress || *httpAddr != "" || *eventsOut != "" || *ledgerDir != "" || *perfOut != "" {
 		observer = obs.New()
 		// The status tracker costs a few counters per item either way;
 		// attach it whenever any observability is on so /api answers and
@@ -240,6 +258,29 @@ func main() {
 		}
 		if *progress {
 			observer.Progress = obs.NewProgress(os.Stderr, 2*time.Second)
+		}
+		// The perf sampler runs whenever its series was asked for (-perf)
+		// or could be served live (-http's /api/perf); the JSONL stream
+		// only with -perf. Stop is deferred after the file's Close defer,
+		// so the final sample lands before the stream closes.
+		if *perfOut != "" || *httpAddr != "" {
+			var pw *os.File
+			if *perfOut != "" {
+				f, err := os.Create(*perfOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				pw = f
+			}
+			var w io.Writer
+			if pw != nil {
+				w = pw
+			}
+			observer.Sampler = obs.NewSampler(observer, *perfPeriod, w, 0)
+			observer.Sampler.Start()
+			defer observer.Sampler.Stop()
 		}
 		if *httpAddr != "" {
 			addr, shutdown, err := obs.ServeDebug(*httpAddr, observer)
@@ -470,6 +511,12 @@ func main() {
 				}
 			}
 			appOpts := opts
+			// slots is the run's parallel execution budget, the
+			// denominator of the perf summary's utilization.
+			slots := *parallel
+			if slots <= 0 {
+				slots = campaign.DefaultParallelism()
+			}
 			var adapter *distAdapter
 			if *workers > 0 {
 				cfg := dist.ConfigFrom(opts)
@@ -494,6 +541,7 @@ func main() {
 					}
 					cfg.Parallel = (total + *workers - 1) / *workers
 				}
+				slots = *workers * cfg.Parallel
 				distOpts := dist.Options{
 					App:                 app.Name,
 					Workers:             *workers,
@@ -575,6 +623,7 @@ func main() {
 			if *ledgerDir != "" {
 				saveCoverage(*ledgerDir, app, appOpts, res, plan, prevIx, prevItems, &exitCode)
 				rec := ledgerRecord(res, *seed, start, *workers, execFlags)
+				rec.Perf = obs.SummarizePerf(observer, res.App, res.Elapsed.Seconds(), slots)
 				if plan != nil {
 					rec.ChangedTests = len(plan.Changed)
 					rec.ReplayedTests = len(plan.Replayed)

@@ -131,7 +131,9 @@ func runWatchServer(base, token, id string, interval time.Duration) int {
 			header += fmt.Sprintf(" queue #%d", d.QueuePosition)
 		}
 		if d.Status != nil {
-			renderWatch(os.Stdout, header, *d.Status, d.Workers)
+			// The service detail carries no sampler history; the sparkline
+			// rows only render on the run-local -http-addr path.
+			renderWatch(os.Stdout, header, *d.Status, d.Workers, obs.PerfAPI{})
 		}
 		switch d.State {
 		case server.StateDone:

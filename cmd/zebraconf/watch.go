@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"zebraconf/internal/core/flight"
 	"zebraconf/internal/obs"
 )
 
@@ -42,8 +43,15 @@ func runWatch(addr string, interval time.Duration) int {
 		}
 		var ws []obs.WorkerStatus
 		_ = getJSON(client, base+"/api/workers", &ws) // workers are optional (in-process runs)
+		// Perf is doubly optional: sampling may be off (503), and older
+		// campaign builds predate the endpoint entirely (404). Either way
+		// the dashboard just omits the sparkline rows.
+		var pa obs.PerfAPI
+		if err := getJSON(client, base+"/api/perf", &pa); err != nil {
+			pa.History = nil
+		}
 		polled = true
-		renderWatch(os.Stdout, base, cs, ws)
+		renderWatch(os.Stdout, base, cs, ws, pa)
 		if cs.Done {
 			return 0
 		}
@@ -76,7 +84,7 @@ func getJSON(client *http.Client, url string, into any) error {
 	return json.NewDecoder(resp.Body).Decode(into)
 }
 
-func renderWatch(w io.Writer, base string, cs obs.CampaignStatus, ws []obs.WorkerStatus) {
+func renderWatch(w io.Writer, base string, cs obs.CampaignStatus, ws []obs.WorkerStatus, pa obs.PerfAPI) {
 	// Home the cursor and clear: a repaint, not a scroll.
 	fmt.Fprint(w, "\x1b[H\x1b[2J")
 	state := cs.Phase
@@ -101,6 +109,18 @@ func renderWatch(w io.Writer, base string, cs obs.CampaignStatus, ws []obs.Worke
 		fmt.Fprintf(w, " · eta %s\n", fmtSecs(cs.EtaSeconds))
 	} else {
 		fmt.Fprintf(w, " · eta —\n")
+	}
+
+	if len(pa.History) > 0 {
+		util := make([]float64, len(pa.History))
+		cache := make([]float64, len(pa.History))
+		for i, s := range pa.History {
+			util[i] = s.Utilization()
+			cache[i] = s.CacheHitRate()
+		}
+		fmt.Fprintf(w, "  util       %s %.0f%% busy · cache %s (%d samples @ %dms)\n",
+			flight.Sparkline(util, 1, 24), 100*util[len(util)-1],
+			flight.Sparkline(cache, 1, 24), pa.Samples, pa.PeriodMS)
 	}
 
 	if len(ws) > 0 {

@@ -154,6 +154,11 @@ func (p *pipeline) doItem(item WorkItem) {
 	t0 := time.Now()
 	c.noteDispatch(item)
 	res := ExecuteItem(c.app, c.gen, c.run, c.opts, p.span, item, p.onUnsafe, false)
+	// Same per-item run-time histogram the barriered parallelMap path
+	// records (queue wait is already observed at the queue's pop), so
+	// the ledger's perf summary sees item durations on either path.
+	c.o.Observe(obs.MItemRunSeconds, time.Since(t0).Seconds(),
+		"app", c.app.Name, "stage", "instances")
 	c.observeItem(item, time.Since(t0), res.Executions)
 	p.results[item.ID] = res
 

@@ -1,0 +1,124 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+
+	"zebraconf/internal/apps"
+	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/core/dist"
+	"zebraconf/internal/obs"
+)
+
+// perfReportedSet projects a result onto the repo's cross-run equivalence
+// surface: the sorted reported set as {Param, Truth, MinP}, exactly the
+// jq projection every CI smoke job diffs and (minus MinP) what the
+// ledger's reported digest hashes. The full result is NOT run-to-run
+// stable even uninstrumented: background node goroutines (heartbeat
+// loops and the like) read config on their own timers, so the pre-run
+// capture can gain or lose a parameter between any two runs, shifting
+// instance counts and example strings downstream — pinned by running
+// two plain campaigns back to back under load before blaming the
+// sampler.
+func perfReportedSet(t *testing.T, res *campaign.Result) string {
+	t.Helper()
+	type row struct {
+		Param string
+		Truth string
+		MinP  float64
+	}
+	rows := make([]row, 0, len(res.Reported))
+	for _, r := range res.Reported {
+		rows = append(rows, row{r.Param, r.Truth.String(), r.MinP})
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPerfSamplerEquivalenceAllApps is the observatory's no-interference
+// property on every mini application: the -perf sampler only reads the
+// observer (registry snapshots plus runtime stats), so a campaign run
+// with an aggressive sampler attached must report the identical
+// parameter set — param, truth, minimum p-value — as the same seed run
+// without one, in-process and sharded across worker subprocesses.
+func TestPerfSamplerEquivalenceAllApps(t *testing.T) {
+	cases := []struct {
+		app    string
+		params []string
+		tests  []string
+	}{
+		{"minihdfs",
+			[]string{"dfs.bytes-per-checksum", "dfs.checksum.type"},
+			[]string{"TestWriteRead", "TestFsck", "TestMkdirList"}},
+		{"miniyarn",
+			[]string{"yarn.scheduler.maximum-allocation-mb", "yarn.timeline-service.enabled"},
+			[]string{"TestAllocationAtMaxMB", "TestTimelineQuery", "TestSubmitApplication"}},
+		{"minihbase",
+			[]string{"hadoop.rpc.protection", "hbase.client.scanner.caching"},
+			[]string{"TestPutGet", "TestThriftAdmin"}},
+		{"minimr",
+			[]string{"mapreduce.jobhistory.max-age-ms", "mapreduce.jobhistory.address", "mapreduce.map.output.compress.codec"},
+			[]string{"TestWordCount", "TestHistoryArchive"}},
+		{"miniflink",
+			[]string{"akka.ssl.enabled", "taskmanager.numberOfTaskSlots"},
+			[]string{"TestJobSubmission", "TestSlotAllocationExact"}},
+	}
+	const seed = 7
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.app, func(t *testing.T) {
+			t.Parallel()
+			app, err := apps.ByName(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := campaign.Options{
+				Params: tc.params,
+				Tests:  tc.tests,
+				Seed:   seed,
+			}
+
+			// Baseline: no observer at all.
+			plain := campaign.Run(app, opts)
+			if len(plain.Reported) == 0 {
+				t.Fatalf("%s subset reported nothing; the equivalence check is vacuous", tc.app)
+			}
+
+			// Sampled: observer with a sampler ticking far faster than any
+			// production -perf-period, streaming to a discarded writer, so
+			// snapshotting races every registry write the campaign makes.
+			o := obs.New()
+			o.Sampler = obs.NewSampler(o, time.Millisecond, io.Discard, 0)
+			o.Sampler.Start()
+			sampledOpts := opts
+			sampledOpts.Obs = o
+			sampled := campaign.Run(app, sampledOpts)
+			o.Sampler.Stop()
+
+			if got, want := perfReportedSet(t, sampled), perfReportedSet(t, plain); got != want {
+				t.Fatalf("sampler changed the reported set:\n with    %s\n without %s", got, want)
+			}
+
+			// The same property across worker subprocesses: the coordinator
+			// samples its own observer while stitching worker results.
+			od := obs.New()
+			od.Sampler = obs.NewSampler(od, time.Millisecond, io.Discard, 0)
+			od.Sampler.Start()
+			distOpts := opts
+			distOpts.Obs = od
+			dres := runDistributed(t, app, distOpts, dist.Options{
+				Workers:   2,
+				WorkerCmd: workerFactory(),
+			})
+			od.Sampler.Stop()
+			if got, want := perfReportedSet(t, dres), perfReportedSet(t, plain); got != want {
+				t.Fatalf("workers=2 sampled reported set diverges:\n dist  %s\n local %s", got, want)
+			}
+		})
+	}
+}

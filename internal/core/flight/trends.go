@@ -1,0 +1,219 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"zebraconf/internal/core/ledger"
+)
+
+// DefaultTrendRuns is how many trailing runs -mode trends compares.
+const DefaultTrendRuns = 5
+
+// DefaultTrendThreshold is the relative drift past which a metric is
+// flagged (strictly greater than; exactly-at-threshold is noise).
+const DefaultTrendThreshold = 0.15
+
+// TrendFlag is one metric drifting past the noise threshold between
+// the baseline (mean of prior comparable runs) and the newest run.
+type TrendFlag struct {
+	Metric   string
+	Baseline float64
+	Latest   float64
+	// Drift is (Latest-Baseline)/Baseline, signed.
+	Drift float64
+	// Regression marks drift in the bad direction for this metric
+	// (makespan up, utilization down, …); improvements are reported
+	// but only regressions should gate CI.
+	Regression bool
+}
+
+// TrendReport compares the newest ledger record against its
+// predecessors with the same app and execution-affecting flags.
+type TrendReport struct {
+	App string
+	// Latest is the newest comparable record; Baseline aggregates the
+	// Compared prior records (mean per metric).
+	Latest   ledger.Record
+	Compared int
+	// Skipped counts records excluded for a mismatched flags digest —
+	// those runs measured a different configuration, so their timings
+	// are not noise but signal about something else.
+	Skipped   int
+	Threshold float64
+	Flags     []TrendFlag
+	// Note is set when there was nothing to compare (fewer than two
+	// comparable runs); the report is then trivially clean.
+	Note string
+}
+
+// Regressed reports whether any flagged drift moved in the bad
+// direction — the CI gate behind -mode trends' exit status.
+func (t TrendReport) Regressed() bool {
+	for _, f := range t.Flags {
+		if f.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// trendMetric describes one compared metric: how to read it from a
+// record and which drift direction is a regression.
+type trendMetric struct {
+	name  string
+	value func(ledger.Record) (float64, bool)
+	// badUp: an increase is the regression (durations, executions).
+	// Otherwise a decrease is (utilization, cache hit rate).
+	badUp bool
+}
+
+var trendMetrics = []trendMetric{
+	{"makespan_seconds", func(r ledger.Record) (float64, bool) {
+		return r.MakespanSeconds, r.MakespanSeconds > 0
+	}, true},
+	{"executions", func(r ledger.Record) (float64, bool) {
+		return float64(r.Executions), r.Executions > 0
+	}, true},
+	{"p95_item_seconds", func(r ledger.Record) (float64, bool) {
+		if r.Perf == nil {
+			return 0, false
+		}
+		return r.Perf.P95ItemSeconds, r.Perf.P95ItemSeconds > 0
+	}, true},
+	{"p95_queue_wait_seconds", func(r ledger.Record) (float64, bool) {
+		if r.Perf == nil {
+			return 0, false
+		}
+		return r.Perf.P95QueueWaitSeconds, r.Perf.P95QueueWaitSeconds > 0
+	}, true},
+	{"utilization_pct", func(r ledger.Record) (float64, bool) {
+		if r.Perf == nil {
+			return 0, false
+		}
+		return r.Perf.UtilizationPct, r.Perf.UtilizationPct > 0
+	}, false},
+	{"cache_hit_rate", func(r ledger.Record) (float64, bool) {
+		if r.Perf == nil {
+			return 0, false
+		}
+		return r.Perf.CacheHitRate, r.Perf.CacheHitRate > 0
+	}, false},
+}
+
+// Trends analyzes the trailing runs of one app. recs is the full
+// ledger, oldest first; runs <= 0 means DefaultTrendRuns; threshold
+// <= 0 means DefaultTrendThreshold. Only records sharing the newest
+// run's flags digest are comparable — runs invoked with different
+// execution-affecting flags measure different workloads.
+func Trends(recs []ledger.Record, app string, runs int, threshold float64) TrendReport {
+	if runs <= 0 {
+		runs = DefaultTrendRuns
+	}
+	if threshold <= 0 {
+		threshold = DefaultTrendThreshold
+	}
+	t := TrendReport{App: app, Threshold: threshold}
+
+	var mine []ledger.Record
+	for _, r := range recs {
+		if app == "" || r.App == app {
+			mine = append(mine, r)
+		}
+	}
+	if len(mine) == 0 {
+		t.Note = "no ledger records for this app"
+		return t
+	}
+	t.Latest = mine[len(mine)-1]
+	if app == "" {
+		t.App = t.Latest.App
+		// Re-filter: with no -app given, trend the newest record's app.
+		var filtered []ledger.Record
+		for _, r := range mine {
+			if r.App == t.App {
+				filtered = append(filtered, r)
+			}
+		}
+		mine = filtered
+	}
+
+	// Baseline pool: up to runs-1 records before the newest, newest
+	// window first, matching flags digest only.
+	var pool []ledger.Record
+	for i := len(mine) - 2; i >= 0 && len(pool) < runs-1; i-- {
+		if mine[i].FlagsDigest != t.Latest.FlagsDigest {
+			t.Skipped++
+			continue
+		}
+		pool = append(pool, mine[i])
+	}
+	t.Compared = len(pool)
+	if len(pool) == 0 {
+		t.Note = "fewer than two comparable runs (matching app and flags digest) — nothing to trend"
+		return t
+	}
+
+	for _, m := range trendMetrics {
+		latest, ok := m.value(t.Latest)
+		if !ok {
+			continue
+		}
+		var sum float64
+		var n int
+		for _, r := range pool {
+			if v, ok := m.value(r); ok {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		base := sum / float64(n)
+		if base == 0 {
+			continue
+		}
+		drift := (latest - base) / base
+		// Strictly past the threshold: a drift of exactly threshold is
+		// within the declared noise band.
+		if math.Abs(drift) <= threshold {
+			continue
+		}
+		t.Flags = append(t.Flags, TrendFlag{
+			Metric:     m.name,
+			Baseline:   base,
+			Latest:     latest,
+			Drift:      drift,
+			Regression: (drift > 0) == m.badUp,
+		})
+	}
+	return t
+}
+
+// RenderTrends writes the human-readable trend report.
+func RenderTrends(w io.Writer, t TrendReport) {
+	fmt.Fprintf(w, "trend report: app %s · threshold %.0f%%\n", t.App, t.Threshold*100)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  %s\n", t.Note)
+		return
+	}
+	fmt.Fprintf(w, "  latest run %s (%s) vs %d prior run(s)", t.Latest.RunID, t.Latest.Start, t.Compared)
+	if t.Skipped > 0 {
+		fmt.Fprintf(w, " · %d skipped (different flags)", t.Skipped)
+	}
+	fmt.Fprintf(w, "\n")
+	if len(t.Flags) == 0 {
+		fmt.Fprintf(w, "  all metrics within the noise band — no drift\n")
+		return
+	}
+	for _, f := range t.Flags {
+		verdict := "improved"
+		if f.Regression {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-24s %10.3f -> %10.3f (%+.1f%%) %s\n",
+			f.Metric, f.Baseline, f.Latest, f.Drift*100, verdict)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"zebraconf/internal/core/campaign"
+	"zebraconf/internal/obs"
 )
 
 // FileName is the ledger file inside a -ledger directory.
@@ -74,6 +75,11 @@ type Record struct {
 	DeselectedTests int `json:"deselected_tests,omitempty"`
 	ChangedTests    int `json:"changed_tests,omitempty"`
 	ReplayedTests   int `json:"replayed_tests,omitempty"`
+	// Perf is the run's performance summary (nil for records written
+	// before the observatory existed, or for unobserved runs — readers
+	// treat nil as "no perf data", never as an error). Callers fill it
+	// after Summarize since it derives from the observer, not the result.
+	Perf *obs.PerfSummary `json:"perf,omitempty"`
 }
 
 // Summarize condenses one finished campaign into a Record: the sorted

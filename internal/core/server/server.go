@@ -20,6 +20,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -115,6 +116,9 @@ type Campaign struct {
 	cancelled bool
 	res       *campaign.Result
 	runID     string
+	// slots is the run's parallel execution budget (workers x per-worker
+	// parallelism), recorded for the perf summary's utilization.
+	slots int
 }
 
 // New assembles a Server: state directory, disk cache, gateway, shared
@@ -403,6 +407,13 @@ func (s *Server) runCampaign(c *Campaign) {
 		}
 		cfg.Parallel = (total + workers - 1) / workers
 	}
+	c.mu.Lock()
+	c.slots = workers * cfg.Parallel
+	c.mu.Unlock()
+	// Every served campaign gets a ring-only perf sampler: the summary
+	// lands in its ledger record and perf.json without clients asking.
+	c.o.Sampler = obs.NewSampler(c.o, 0, nil, 0)
+	c.o.Sampler.Start()
 	coord := dist.New(dist.Options{
 		App:                 app.Name,
 		Workers:             workers,
@@ -431,6 +442,7 @@ func (s *Server) runCampaign(c *Campaign) {
 	copts.Distributor = adapter
 
 	res := campaign.Run(app, copts)
+	c.o.Sampler.Stop()
 	if adapter.run != nil {
 		res.WorkerStalls = adapter.run.Stalls()
 	}
@@ -471,10 +483,23 @@ func (s *Server) finish(c *Campaign, res *campaign.Result, err error) {
 	}
 	state := c.state
 	started := c.started
+	slots := c.slots
 	c.mu.Unlock()
+	c.o.Sampler.Stop() // no-op when the run never started sampling
 
 	if state == StateDone && res != nil {
 		rec := ledger.Summarize(res, c.req.Seed, started, c.req.EffectiveWorkers(), c.req.ExecFlags())
+		rec.Perf = obs.SummarizePerf(c.o, res.App, res.Elapsed.Seconds(), slots)
+		if rec.Perf != nil {
+			// Persist the summary beside the campaign's journal and result
+			// so one submission's whole story lives in its directory.
+			path := filepath.Join(s.opts.StateDir, "campaigns", c.id, "perf.json")
+			if b, jerr := json.MarshalIndent(rec.Perf, "", "  "); jerr == nil {
+				if werr := os.WriteFile(path, b, 0o644); werr != nil {
+					s.logf("campaign %s: writing perf.json: %v", c.id, werr)
+				}
+			}
+		}
 		if lerr := ledger.Append(filepath.Join(s.opts.StateDir, "ledger"), rec); lerr != nil {
 			s.logf("campaign %s: writing ledger: %v", c.id, lerr)
 		} else {

@@ -14,6 +14,17 @@ import (
 // duplicate Publish, and tests may start several debug servers.
 var publishOnce sync.Once
 
+// PerfAPI is the /api/perf response: the sampler ring, oldest first,
+// with the newest sample last ("current").
+type PerfAPI struct {
+	// PeriodMS is the sampling period in milliseconds.
+	PeriodMS int64 `json:"period_ms"`
+	// Samples counts every sample taken, including ring-evicted ones.
+	Samples int `json:"samples"`
+	// History is the ring contents, oldest first.
+	History []PerfSample `json:"history"`
+}
+
 // ServeDebug starts an HTTP debug server on addr exposing:
 //
 //	/metrics       Prometheus text exposition of o.Metrics
@@ -88,6 +99,21 @@ func ServeDebug(addr string, o *Observer) (string, func(), error) {
 		}
 		return ps
 	}))
+	mux.HandleFunc("/api/perf", func(w http.ResponseWriter, _ *http.Request) {
+		var sampler *Sampler
+		if o != nil {
+			sampler = o.Sampler
+		}
+		if sampler == nil {
+			http.Error(w, `{"error":"perf sampling is not enabled"}`, http.StatusServiceUnavailable)
+			return
+		}
+		apiJSON(w, PerfAPI{
+			PeriodMS: sampler.Period().Milliseconds(),
+			Samples:  sampler.Count(),
+			History:  sampler.Snapshots(),
+		})
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

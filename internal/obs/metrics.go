@@ -211,6 +211,160 @@ func (r *Registry) CounterValue(name string, labels ...string) int64 {
 	return total
 }
 
+// GaugeValue sums every series of a gauge family, optionally restricted
+// to series carrying all the given label pairs.
+func (r *Registry) GaugeValue(name string, labels ...string) int64 {
+	want := splitPairs(labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for key, g := range r.gauges {
+		if key.name == name && matchesLabels(key.labels, want) {
+			total += g.Value()
+		}
+	}
+	return total
+}
+
+// HistSnapshot is one histogram family frozen at a point in time:
+// observation count, sum, and the raw (non-cumulative) per-bucket counts
+// against the family's bucket bounds. Series within a family share one
+// bucket layout (the Observer catalog guarantees it), so snapshots of
+// different label sets merge by element-wise bucket addition.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"` // len(Bounds)+1; last is +Inf
+}
+
+// Merge folds another snapshot of the same family into h.
+func (h *HistSnapshot) Merge(o HistSnapshot) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if h.Bounds == nil {
+		h.Bounds = o.Bounds
+	}
+	if h.Buckets == nil {
+		h.Buckets = make([]int64, len(o.Buckets))
+	}
+	for i := range o.Buckets {
+		if i < len(h.Buckets) {
+			h.Buckets[i] += o.Buckets[i]
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts
+// by linear interpolation within the holding bucket — the same estimate
+// a Prometheus histogram_quantile() computes from the exposed _bucket
+// series. Returns 0 when the snapshot is empty. Observations in the
+// +Inf bucket clamp to the highest finite bound.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, n := range h.Buckets {
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) { // +Inf bucket
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		if n == 0 {
+			return hi
+		}
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// snapshotHist freezes one histogram's current buckets.
+func snapshotHist(h *Histogram) HistSnapshot {
+	s := HistSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Bounds:  h.Bounds(),
+		Buckets: make([]int64, len(h.bounds)+1),
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.BucketCount(i)
+	}
+	return s
+}
+
+// HistogramValue merges every series of a histogram family matching the
+// given label pairs into one snapshot (all series when none given).
+func (r *Registry) HistogramValue(name string, labels ...string) HistSnapshot {
+	want := splitPairs(labels)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out HistSnapshot
+	for key, h := range r.hists {
+		if key.name == name && matchesLabels(key.labels, want) {
+			s := snapshotHist(h)
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
+// Snapshot is the whole registry frozen at a point in time — what the
+// perf sampler records each period. Counters and gauges keep their full
+// series identity (`name{labels}`), histograms are merged per family so
+// a sample stays compact while still supporting quantile estimation.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]int64        `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// Snapshot freezes every registered metric. Safe to call concurrently
+// with metric registration and updates: the registry lock covers the map
+// walk, and the per-metric reads are the same atomics the hot paths use.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for key, c := range r.counters {
+			s.Counters[key.name+braced(key.labels)] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for key, g := range r.gauges {
+			s.Gauges[key.name+braced(key.labels)] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(r.hists))
+		for key, h := range r.hists {
+			snap := s.Hists[key.name]
+			snap.Merge(snapshotHist(h))
+			s.Hists[key.name] = snap
+		}
+	}
+	return s
+}
+
 func splitPairs(labels []string) map[string]string {
 	out := make(map[string]string, len(labels)/2)
 	for i := 0; i+1 < len(labels); i += 2 {

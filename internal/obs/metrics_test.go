@@ -102,6 +102,86 @@ func TestPrometheusExposition(t *testing.T) {
 	}
 }
 
+// TestPrometheusHistogramCumulative pins the exposition contract the
+// observatory relies on: _bucket lines are cumulative (each le bound
+// includes all smaller buckets), +Inf equals _count, and bounds appear
+// in ascending order.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10}, "app", "x")
+	for _, v := range []float64{0.05, 0.05, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Raw per-bucket counts are 2,1,1,1; cumulative must be 2,3,4,5.
+	wants := []string{
+		`lat_seconds_bucket{app="x",le="0.1"} 2`,
+		`lat_seconds_bucket{app="x",le="1"} 3`,
+		`lat_seconds_bucket{app="x",le="10"} 4`,
+		`lat_seconds_bucket{app="x",le="+Inf"} 5`,
+		`lat_seconds_count{app="x"} 5`,
+	}
+	last := -1
+	for _, want := range wants {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("exposition missing cumulative line %q in:\n%s", want, out)
+		}
+		if i < last {
+			t.Fatalf("bucket bounds out of order: %q appears before previous line", want)
+		}
+		last = i
+	}
+}
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", []float64{1, 2, 4}, "app", "x")
+	// 10 obs in (0,1], 10 in (1,2]: median sits at the 1..2 boundary.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	snap := r.HistogramValue("q_seconds", "app", "x")
+	if got := snap.Quantile(0.5); got < 0.9 || got > 1.1 {
+		t.Errorf("p50 = %v, want ~1.0", got)
+	}
+	// p95 -> rank 19 of 20, inside the (1,2] bucket near its top.
+	if got := snap.Quantile(0.95); got < 1.5 || got > 2.0 {
+		t.Errorf("p95 = %v, want in (1.5, 2.0]", got)
+	}
+	// Observations past the last finite bound clamp to that bound.
+	h.Observe(1e9)
+	snap = r.HistogramValue("q_seconds", "app", "x")
+	if got := snap.Quantile(0.999); got != 4 {
+		t.Errorf("quantile in +Inf bucket = %v, want clamp to 4", got)
+	}
+	// Empty histogram.
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramValueMergesSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("m_seconds", []float64{1, 2}, "app", "x", "stage", "a").Observe(0.5)
+	r.Histogram("m_seconds", []float64{1, 2}, "app", "x", "stage", "b").Observe(1.5)
+	snap := r.HistogramValue("m_seconds", "app", "x")
+	if snap.Count != 2 || snap.Sum != 2.0 {
+		t.Errorf("merged snapshot = %+v, want count 2 sum 2.0", snap)
+	}
+	// Filtering by the distinguishing label narrows to one series.
+	one := r.HistogramValue("m_seconds", "app", "x", "stage", "a")
+	if one.Count != 1 || one.Sum != 0.5 {
+		t.Errorf("filtered snapshot = %+v, want count 1 sum 0.5", one)
+	}
+}
+
 func TestLabelEscaping(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("esc_total", "msg", "a\"b\\c\nd").Inc()

@@ -266,6 +266,8 @@ type Observer struct {
 	Events *EventLog
 	// Status is the live campaign state behind the /api endpoints.
 	Status *Status
+	// Sampler is the periodic perf sampler behind -perf and /api/perf.
+	Sampler *Sampler
 }
 
 // New returns an Observer with a live metrics registry and no tracer or

@@ -478,6 +478,10 @@ type CampaignStatus struct {
 
 	UnsafeParams int `json:"unsafe_params"`
 	Workers      int `json:"workers"`
+	// Slots is the parallel execution budget the ETA divides across
+	// (workers x per-worker parallelism in dist mode) — also what the
+	// perf sampler derives instantaneous utilization from.
+	Slots int `json:"slots"`
 }
 
 // WorkerStatus is one /api/workers row.
@@ -532,6 +536,7 @@ func (s *Status) Campaign() CampaignStatus {
 		HomoInvalid:     s.homoInv,
 		UnsafeParams:    len(s.params),
 		Workers:         len(s.workers),
+		Slots:           s.slots,
 	}
 	cs.Phase = "idle"
 	if len(s.phases) > 0 {
